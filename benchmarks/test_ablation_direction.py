@@ -1,0 +1,94 @@
+"""Ablation: backward counting (the paper's choice, §7) vs forward
+propagation.
+
+Forward propagation yields the same verdicts on deterministic/multicast
+planes, but (a) it cannot compactly track ANY-type universes -- it raises
+on them, which this bench demonstrates -- and (b) it leaves intermediate
+devices with no reachability information (backward counting gives every
+device its count to the destination, reusable by rerouting services).
+"""
+
+import time
+
+import pytest
+from conftest import write_table
+
+from repro.bench.reporting import format_seconds, print_table
+from repro.counting import count_dpvnet
+from repro.counting.forward import (
+    ForwardCountingUnsupported,
+    forward_count_dpvnet,
+)
+from repro.dataplane.actions import ALL, ANY, Deliver, Forward
+from repro.planner.dpvnet import build_dpvnet
+from repro.spec.ast import PathExp
+from repro.topology.generators import chained_diamond
+
+DEPTH = 6
+
+
+def build_plane(kind):
+    topology = chained_diamond(DEPTH)
+    net = build_dpvnet(
+        topology, [PathExp(f"j0 .* j{DEPTH}", loop_free=True)], ["j0"]
+    )
+    actions = {}
+    for index in range(DEPTH):
+        actions[f"j{index}"] = Forward(
+            [f"u{index}", f"l{index}"], kind=kind
+        )
+        actions[f"u{index}"] = Forward([f"j{index + 1}"])
+        actions[f"l{index}"] = Forward([f"j{index + 1}"])
+    actions[f"j{DEPTH}"] = Deliver()
+    return net, actions
+
+
+def test_backward_vs_forward_all(benchmark, out_dir):
+    net, actions = build_plane(ALL)
+
+    def run_both():
+        start = time.perf_counter()
+        backward = count_dpvnet(net, actions.get)[net.roots["j0"].node_id]
+        backward_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        forward = forward_count_dpvnet(net, actions.get, "j0")
+        forward_seconds = time.perf_counter() - start
+        return backward, backward_seconds, forward, forward_seconds
+
+    backward, b_seconds, forward, f_seconds = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    assert backward == forward  # identical verdicts on ALL-type planes
+    rows = [
+        {"direction": "backward (paper)", "time": format_seconds(b_seconds)},
+        {"direction": "forward", "time": format_seconds(f_seconds)},
+    ]
+    text = print_table(
+        f"Ablation: counting direction ({DEPTH}-diamond ALL plane, "
+        f"delivers {2 ** DEPTH} copies)",
+        rows,
+    )
+    write_table(out_dir, "ablation_direction.txt", text)
+
+
+def test_forward_cannot_handle_any(benchmark):
+    """The structural argument for backpropagation: ANY universes."""
+    net, actions = build_plane(ANY)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # backward handles it fine:
+    backward = count_dpvnet(net, actions.get)[net.roots["j0"].node_id]
+    assert backward.scalars() == (1,)
+    # forward cannot:
+    with pytest.raises(ForwardCountingUnsupported):
+        forward_count_dpvnet(net, actions.get, "j0")
+
+
+def test_backward_gives_every_device_counts(benchmark):
+    """§7: backward counting leaves per-device reachability info that
+    rerouting services can read; forward propagation does not."""
+    net, actions = build_plane(ALL)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    counts = count_dpvnet(net, actions.get)
+    # every non-destination node knows its own count to the destination
+    for node in net.topo_order:
+        assert counts[node.node_id] is not None

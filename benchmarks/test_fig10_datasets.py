@@ -1,0 +1,25 @@
+"""Figure 10: dataset statistics table.
+
+Prints the name / type / devices / links / rule-volume rows for all 13
+datasets and benchmarks dataset construction.
+"""
+
+from conftest import bench_scale, write_table
+
+from repro.bench.reporting import print_table
+from repro.topology.datasets import FIGURE_ORDER, dataset_statistics, load_dataset
+
+
+def test_fig10_statistics_table(out_dir, benchmark):
+    rows = benchmark(lambda: dataset_statistics(scale=bench_scale()))
+    text = print_table("Figure 10: dataset statistics", rows)
+    write_table(out_dir, "fig10_datasets.txt", text)
+    assert len(rows) == 13
+
+
+def test_benchmark_dataset_loading(benchmark):
+    def load_all():
+        return [load_dataset(name, bench_scale()) for name in FIGURE_ORDER]
+
+    topologies = benchmark(load_all)
+    assert all(topology.is_connected() for topology in topologies)

@@ -1,0 +1,117 @@
+"""Figure 13: planner latency to compute k-link-failure-tolerant DPVNets.
+
+For each topology, the planner computes the fault-tolerant DPVNet of the
+(<= shortest+2) reachability invariant under all scenes of up to k link
+failures, k = 0..3.  Scene count grows as C(links, k), so the latency
+curve is steeply super-linear in k -- the paper's Figure 13 shape.
+"""
+
+import time
+
+import pytest
+from conftest import full_sweep, write_table
+
+from repro.bench.reporting import print_table
+from repro.planner import plan_invariant
+from repro.spec.ast import (
+    CountExpr,
+    Exist,
+    Invariant,
+    LengthFilter,
+    Match,
+    PathExp,
+    SHORTEST,
+)
+from repro.spec.parser import AnyK
+from repro.topology.datasets import load_dataset
+
+#: Small-to-mid topologies; scene enumeration on the dense ones (NTT)
+#: explodes combinatorially exactly as the paper's Figure 13 shows.
+FIG13_DATASETS = ("INet2", "B4-13", "STFD", "B4-18")
+MAX_K = 3 if full_sweep() else 2
+
+_RESULTS = {}
+
+
+def plan_with_k(dataset: str, k: int) -> float:
+    topology = load_dataset(dataset)
+    destination = topology.devices_with_prefixes()[0]
+    cidr = topology.external_prefixes(destination)[0]
+    from repro.packetspace.fields import DSTIP_ONLY_LAYOUT
+    from repro.packetspace.predicate import PredicateFactory
+
+    factory = PredicateFactory(DSTIP_ONLY_LAYOUT)
+    scenes = (AnyK(k),) if k else ()
+    invariant = Invariant(
+        factory.dst_prefix(cidr),
+        tuple(d for d in topology.devices if d != destination),
+        Match(
+            Exist(CountExpr(">=", 1)),
+            PathExp(
+                f".* {destination}",
+                (LengthFilter("<=", SHORTEST, 2),),
+                loop_free=True,
+            ),
+        ),
+        fault_scenes=scenes,
+        name=f"fig13-{dataset}-k{k}",
+    )
+    start = time.perf_counter()
+    plan = plan_invariant(invariant, topology)
+    elapsed = time.perf_counter() - start
+    return elapsed, plan
+
+
+def run_dataset(dataset):
+    if dataset not in _RESULTS:
+        row = {"dataset": dataset}
+        for k in range(MAX_K + 1):
+            elapsed, plan = plan_with_k(dataset, k)
+            row[f"k={k}"] = elapsed
+        _RESULTS[dataset] = row
+    return _RESULTS[dataset]
+
+
+@pytest.mark.parametrize("dataset", FIG13_DATASETS)
+def test_dpvnet_latency(dataset, benchmark):
+    def once():
+        return plan_with_k(dataset, 1)[0]
+
+    assert benchmark.pedantic(once, rounds=1, iterations=1) > 0
+
+
+def test_fig13_table(out_dir, benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_dataset(dataset) for dataset in FIG13_DATASETS],
+        rounds=1,
+        iterations=1,
+    )
+    text = print_table(
+        f"Figure 13: fault-tolerant DPVNet computation latency (k = 0..{MAX_K})",
+        rows,
+    )
+    write_table(out_dir, "fig13_dpvnet_latency.txt", text)
+
+
+def test_shape_latency_grows_with_k(benchmark):
+    """Scene enumeration is combinatorial: each k step multiplies cost."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for dataset in FIG13_DATASETS:
+        row = run_dataset(dataset)
+        assert row[f"k={MAX_K}"] > row["k=0"], dataset
+
+
+def test_scene_labels_complete(benchmark):
+    """Every enumerated scene must be represented in the DPVNet labels
+    (or be detectably intolerable)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, plan = plan_with_k("INet2", 1)
+    from repro.planner.dpvnet import intolerable_scenes
+
+    covered = set()
+    for root_id in plan.root_nodes.values():
+        covered |= {
+            scene for (_, scene) in plan.dpvnet.nodes[root_id].flow
+        }
+    bad = set(intolerable_scenes(plan.dpvnet))
+    assert covered | bad == set(range(len(plan.scenes)))

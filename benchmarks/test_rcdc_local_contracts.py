@@ -1,0 +1,110 @@
+"""RCDC local contracts on the DC datasets (the paper's tech-report
+companion: "Tulkun also verifies the local contracts of all-shortest-path
+availability of DC, as RCDC does").
+
+The equal-operator invariant verifies with *empty* counting information:
+no UPDATE messages at all, every device checks its FIB against its
+DPVNet neighbor sets locally.  This is the paper's claim that RCDC's
+local contracts are a special case of Tulkun (Prop. 1's equal case).
+"""
+
+import pytest
+from conftest import write_table
+
+from repro.bench.reporting import format_seconds, print_table
+from repro.dvm.messages import UpdateMessage
+from repro.planner import plan_invariant
+from repro.simulator.network import SimulatedNetwork
+from repro.spec import library
+
+DATASETS = ("FT-48", "NGDC")
+
+_RESULTS = {}
+
+
+def run_dataset(workload):
+    if workload.name in _RESULTS:
+        return _RESULTS[workload.name]
+    tors = workload.topology.devices_with_prefixes()
+    source, destination = tors[0], tors[-1]
+    cidr = workload.topology.external_prefixes(destination)[0]
+    packets = workload.factory.dst_prefix(cidr)
+    plan = plan_invariant(
+        library.all_shortest_path_availability(packets, source, destination),
+        workload.topology,
+    )
+    network = SimulatedNetwork(
+        workload.topology, workload.fibs, workload.factory
+    )
+    elapsed = network.install_plan("rcdc", plan)
+    _RESULTS[workload.name] = {
+        "dataset": workload.name,
+        "mode": plan.mode,
+        "nodes": plan.dpvnet.num_nodes,
+        "verify": format_seconds(elapsed),
+        "holds": network.holds("rcdc"),
+        "total_msgs": network.stats.messages,
+        "network": network,
+        "plan": plan,
+    }
+    return _RESULTS[workload.name]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_local_contracts_verify(dataset, workload_for, benchmark):
+    row = benchmark.pedantic(
+        lambda: run_dataset(workload_for(dataset)), rounds=1, iterations=1
+    )
+    assert row["mode"] == "local"
+    assert row["holds"]
+
+
+def test_rcdc_table(workload_for, out_dir, benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            {k: v for k, v in run_dataset(workload_for(d)).items()
+             if k not in ("network", "plan")}
+            for d in DATASETS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    text = print_table(
+        "RCDC local contracts on DC datasets (equal operator, empty "
+        "counting information)",
+        rows,
+    )
+    write_table(out_dir, "rcdc_local_contracts.txt", text)
+
+
+def test_shape_no_counting_messages(workload_for, benchmark):
+    """Prop. 1's equal case: the minimal counting information is the
+    empty set -- no UPDATE message may flow."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for dataset in DATASETS:
+        workload = workload_for(dataset)
+        tors = workload.topology.devices_with_prefixes()
+        source, destination = tors[0], tors[-1]
+        cidr = workload.topology.external_prefixes(destination)[0]
+        packets = workload.factory.dst_prefix(cidr)
+        plan = plan_invariant(
+            library.all_shortest_path_availability(
+                packets, source, destination
+            ),
+            workload.topology,
+        )
+        network = SimulatedNetwork(
+            workload.topology, workload.fibs, workload.factory
+        )
+        captured = []
+        original = network._transmit
+
+        def spy(src, dst, message, when):
+            captured.append(message)
+            return original(src, dst, message, when)
+
+        network._transmit = spy
+        network.install_plan("rcdc", plan)
+        assert not any(
+            isinstance(message, UpdateMessage) for message in captured
+        ), dataset

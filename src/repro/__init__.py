@@ -1,0 +1,15 @@
+"""Tulkun: distributed, on-device data plane verification.
+
+A from-scratch reproduction of "Network can check itself: scaling data
+plane checking via distributed, on-device verification" (HotNets 2022)
+and its SIGCOMM 2023 system paper.  See README.md for the tour and
+DESIGN.md for the system inventory.
+
+Top-level entry point::
+
+    from repro.core import Tulkun
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,26 @@
+"""Trace-level analyses: the §7 "multi-path" invariant extension.
+
+Single-path invariants constrain the traces of one packet space and are
+verified by counting on a DPVNet.  Multi-path invariants *compare* the
+traces of two packet spaces (route symmetry, node-/link-disjointness);
+per §7, Tulkun supports them by collecting the actual downstream paths
+and running user-defined comparison operators on them.  This package
+provides the trace collector (a forwarding-semantics interpreter over
+the LEC tables) and the comparison operators from the paper's discussion.
+"""
+
+from repro.analysis.traces import (
+    TraceSet,
+    collect_traces,
+    link_disjoint,
+    node_disjoint,
+    route_symmetric,
+)
+
+__all__ = [
+    "TraceSet",
+    "collect_traces",
+    "route_symmetric",
+    "node_disjoint",
+    "link_disjoint",
+]

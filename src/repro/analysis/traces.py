@@ -1,0 +1,238 @@
+"""Packet trace collection and multi-path comparison operators (§7).
+
+``collect_traces`` interprets the forwarding semantics of §2.1 directly:
+starting at an ingress, it follows a packet space's LEC actions device by
+device, splitting the space whenever devices treat sub-spaces
+differently, branching on ALL-type actions (every member continues) and
+ANY-type actions (one universe per member).  The result is the set of
+*universes*, each universe being a set of traces -- the paper's
+"multiverse" (§2.1) made concrete.
+
+On top of the collected traces, the comparison operators of the §7
+discussion:
+
+* ``route_symmetric``: the A→B traces reversed equal the B→A traces
+  (middlebox traversal symmetry's underlying relation);
+* ``node_disjoint`` / ``link_disjoint``: two packet spaces' traces share
+  no intermediate node / no link (1+1 protection routing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.dataplane.actions import ANY, Action, Forward
+from repro.dataplane.lec import LecTable
+from repro.packetspace.predicate import Predicate
+
+Trace = Tuple[str, ...]
+Universe = FrozenSet[Trace]
+
+
+class TraceCollectionError(RuntimeError):
+    """Raised when trace collection cannot terminate (forwarding loop)."""
+
+
+@dataclass(frozen=True)
+class TraceSet:
+    """All universes of one packet region from one ingress."""
+
+    ingress: str
+    predicate: Predicate
+    universes: FrozenSet[Universe]
+
+    def all_traces(self) -> FrozenSet[Trace]:
+        return frozenset(
+            trace for universe in self.universes for trace in universe
+        )
+
+    def delivered_traces(self) -> FrozenSet[Trace]:
+        """Traces whose last device delivered (marked by the collector)."""
+        return frozenset(
+            trace for trace in self.all_traces() if trace in self._delivered
+        )
+
+    # delivered markers are attached post-construction by the collector
+    @property
+    def _delivered(self) -> FrozenSet[Trace]:
+        return getattr(self, "__delivered", frozenset())
+
+
+def collect_traces(
+    lec_tables: Dict[str, LecTable],
+    packets: Predicate,
+    ingress: str,
+    max_hops: Optional[int] = None,
+) -> List[TraceSet]:
+    """Collect the universes of ``packets`` entering at ``ingress``.
+
+    Returns one :class:`TraceSet` per sub-region of ``packets`` that the
+    network treats uniformly.  ``max_hops`` bounds trace length (default:
+    number of devices); exceeding it raises
+    :class:`TraceCollectionError` -- a forwarding loop.
+    """
+    bound = max_hops if max_hops is not None else len(lec_tables) + 1
+    # Aggregate universes per region: ANY branches yield the same region
+    # several times, once per universe.
+    by_region: Dict[int, Tuple[Predicate, Set[Universe], Set[Trace]]] = {}
+    for region, universes, delivered in _explore(
+        lec_tables, packets, ingress, bound
+    ):
+        key = region.node
+        if key not in by_region:
+            by_region[key] = (region, set(), set())
+        by_region[key][1].update(universes)
+        by_region[key][2].update(delivered)
+    results: List[TraceSet] = []
+    for region, universes, delivered in by_region.values():
+        trace_set = TraceSet(
+            ingress=ingress,
+            predicate=region,
+            universes=frozenset(universes),
+        )
+        object.__setattr__(trace_set, "__delivered", frozenset(delivered))
+        results.append(trace_set)
+    return results
+
+
+def _explore(
+    lec_tables: Dict[str, LecTable],
+    packets: Predicate,
+    ingress: str,
+    bound: int,
+):
+    """Yield (region, universes, delivered traces)."""
+    # Each work item: (region, frontier) where frontier is one universe's
+    # in-flight traces.  We expand universes breadth-first, splitting the
+    # region whenever a device's LEC partitions it.
+    #
+    # State: a universe is a set of (trace, live) pairs; live=False means
+    # the trace ended (delivered or dropped).
+    initial = (packets, frozenset({((ingress,), True)}))
+    stack = [initial]
+    while stack:
+        region, universe = stack.pop()
+        live = [
+            (trace, flag) for trace, flag in universe if flag
+        ]
+        if not live:
+            traces = frozenset(trace for trace, _ in universe)
+            delivered = _delivered_of(lec_tables, region, universe)
+            yield region, {traces}, delivered
+            continue
+        # Advance the first live trace.
+        (trace, _), rest = live[0], [
+            item for item in universe if item != live[0]
+        ]
+        device = trace[-1]
+        if len(trace) > bound:
+            raise TraceCollectionError(
+                f"trace exceeded {bound} hops at {device!r}: forwarding loop"
+            )
+        table = lec_tables.get(device)
+        parts = (
+            table.classes_overlapping(region)
+            if table is not None
+            else [(region, None)]
+        )
+        for sub_region, action in parts:
+            for next_universe in _step(trace, action):
+                stack.append(
+                    (sub_region, frozenset(rest) | next_universe)
+                )
+
+
+def _step(trace: Trace, action: Optional[Action]):
+    """Universes resulting from applying ``action`` to one live trace."""
+    if action is None or action.is_drop or action.is_deliver:
+        yield frozenset({(trace, False)})
+        return
+    assert isinstance(action, Forward)
+    if action.rewrite is not None:
+        # A rewrite changes the packet's header state per trace, so the
+        # universe's shared region no longer describes every in-flight
+        # copy; per-trace region tracking is future work (the DVM
+        # verifier handles rewrites via SUBSCRIBE, §5.2).
+        raise TraceCollectionError(
+            "trace collection does not support header rewrites; "
+            "use the DVM verifier's SUBSCRIBE path for transformed spaces"
+        )
+    if action.kind == ANY:
+        for hop in action.next_hops:
+            yield frozenset({(trace + (hop,), True)})
+    else:
+        yield frozenset(
+            {(trace + (hop,), True) for hop in action.next_hops}
+        )
+
+
+def _delivered_of(
+    lec_tables: Dict[str, LecTable],
+    region: Predicate,
+    universe,
+) -> Set[Trace]:
+    delivered: Set[Trace] = set()
+    for trace, _ in universe:
+        table = lec_tables.get(trace[-1])
+        if table is None:
+            continue
+        action = table.action_for(region)
+        if action is not None and action.is_deliver:
+            delivered.add(trace)
+    return delivered
+
+
+# ---------------------------------------------------------------------------
+# comparison operators (§7)
+
+
+def route_symmetric(
+    forward: Sequence[TraceSet], backward: Sequence[TraceSet]
+) -> bool:
+    """True when every delivered A→B trace, reversed, is a delivered
+    B→A trace and vice versa."""
+    forward_traces = {
+        trace for trace_set in forward for trace in trace_set.delivered_traces()
+    }
+    backward_traces = {
+        trace
+        for trace_set in backward
+        for trace in trace_set.delivered_traces()
+    }
+    return {tuple(reversed(t)) for t in forward_traces} == backward_traces
+
+
+def node_disjoint(
+    first: Sequence[TraceSet], second: Sequence[TraceSet]
+) -> bool:
+    """True when the two spaces' traces share no intermediate device."""
+    return not _shared_nodes(first, second)
+
+
+def _shared_nodes(first, second) -> Set[str]:
+    def interior(trace_sets):
+        return {
+            device
+            for trace_set in trace_sets
+            for trace in trace_set.all_traces()
+            for device in trace[1:-1]
+        }
+
+    return interior(first) & interior(second)
+
+
+def link_disjoint(
+    first: Sequence[TraceSet], second: Sequence[TraceSet]
+) -> bool:
+    """True when the two spaces' traces share no link."""
+
+    def links(trace_sets):
+        return {
+            tuple(sorted((trace[i], trace[i + 1])))
+            for trace_set in trace_sets
+            for trace in trace_set.all_traces()
+            for i in range(len(trace) - 1)
+        }
+
+    return not (links(first) & links(second))

@@ -1,0 +1,51 @@
+"""Centralized DPV baselines (paper §9.3.1 comparison methods).
+
+Re-implementations of the five tools the paper compares against, sharing
+one invariant-checking backend (Algorithm 1 counting over the DPVNet) so
+every tool returns identical verdicts -- exactly like the paper, where
+all tools find all injected errors and differ only in *when*.  What
+differs per tool is the equivalence-class machinery, which dominates
+their compute time:
+
+* **AP** (Yang & Lam): global atomic predicates, recomputed per snapshot.
+* **APKeep**: atomic predicates maintained incrementally (split/merge of
+  affected classes only).
+* **Delta-net**: interval atoms over destination IPs -- fastest per
+  update but only supports dstIP-prefix data planes.
+* **VeriFlow**: per-update affected-class computation from the update's
+  prefix (trie-style locality).
+* **Flash**: batched class computation with rule deduplication (fast
+  bursts, unremarkable single updates) and an *early detection* mode that
+  verifies before all devices report (§1's missing-device experiment).
+
+A centralized tool's verification latency = management-network collection
+latency (simulated) + measured compute wall time.
+"""
+
+from repro.baselines.base import BaselineResult, CentralizedVerifier
+from repro.baselines.ap import ApVerifier
+from repro.baselines.apkeep import ApKeepVerifier
+from repro.baselines.deltanet import DeltaNetVerifier
+from repro.baselines.veriflow import VeriFlowVerifier
+from repro.baselines.flash import FlashVerifier
+from repro.baselines.collection import CollectionModel
+
+ALL_BASELINES = (
+    ApVerifier,
+    ApKeepVerifier,
+    DeltaNetVerifier,
+    VeriFlowVerifier,
+    FlashVerifier,
+)
+
+__all__ = [
+    "CentralizedVerifier",
+    "BaselineResult",
+    "ApVerifier",
+    "ApKeepVerifier",
+    "DeltaNetVerifier",
+    "VeriFlowVerifier",
+    "FlashVerifier",
+    "CollectionModel",
+    "ALL_BASELINES",
+]

@@ -1,0 +1,50 @@
+"""APKeep [Zhang et al., NSDI'20]: incrementally maintained classes.
+
+Keeps the atomic-predicate partition alive across updates: a rule update
+only *splits* the classes overlapping its changed region (merging of
+equal-behavior classes is deferred, as in APKeep's PPM model), and only
+the touched classes are re-verified."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.baselines.ap import refine_partition
+from repro.baselines.base import CentralizedVerifier
+from repro.packetspace.predicate import Predicate
+
+
+class ApKeepVerifier(CentralizedVerifier):
+    """Atomic predicates with incremental split maintenance."""
+
+    name = "APKeep"
+
+    def __init__(self, factory) -> None:
+        super().__init__(factory)
+        self._classes: List[Predicate] = []
+
+    def _build_classes(self) -> None:
+        partition = [self.factory.all_packets()]
+        for table in self.lec_tables.values():
+            for entry in table.entries:
+                partition = refine_partition(partition, entry.predicate)
+        self._classes = partition
+
+    def num_classes(self) -> int:
+        return len(self._classes)
+
+    def classes_overlapping(self, region: Predicate) -> Iterable[Predicate]:
+        for ec in self._classes:
+            overlap = ec & region
+            if not overlap.is_empty:
+                yield overlap
+
+    def _update_classes(self, device: str, region: Predicate) -> None:
+        """Split only the classes overlapping the update's region against
+        the device's new LEC predicates."""
+        table = self.lec_tables[device]
+        untouched = [ec for ec in self._classes if not ec.overlaps(region)]
+        touched = [ec for ec in self._classes if ec.overlaps(region)]
+        for entry in table.entries:
+            touched = refine_partition(touched, entry.predicate)
+        self._classes = untouched + touched

@@ -1,0 +1,185 @@
+"""Shared scaffolding for centralized baselines.
+
+Every baseline follows the same lifecycle:
+
+* ``load_snapshot(fibs)`` -- ingest all data planes (the burst-update
+  scenario), build the tool's equivalence classes;
+* ``verify(plans)`` -- check invariants by running Algorithm 1 counting
+  per equivalence class overlapping each invariant's packet space;
+* ``apply_update(device, region)`` -- incremental: ingest one rule
+  update's changed region and re-verify what it touches.
+
+All methods return a :class:`BaselineResult` carrying the *measured*
+compute wall time, which the benchmark harness combines with the
+simulated collection latency.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.counting.algorithm1 import count_dpvnet
+from repro.dataplane.actions import Action
+from repro.dataplane.fib import Fib
+from repro.dataplane.lec import LecTable, build_lec_table
+from repro.packetspace.predicate import Predicate, PredicateFactory
+from repro.planner.tasks import Plan
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline operation."""
+
+    compute_seconds: float
+    holds: Optional[bool] = None
+    failing_plans: Tuple[str, ...] = ()
+    classes: int = 0
+
+
+class CentralizedVerifier:
+    """Base class: snapshot storage + per-class invariant checking."""
+
+    name = "base"
+    #: True when the tool only supports destination-prefix data planes.
+    dst_prefix_only = False
+
+    def __init__(self, factory: PredicateFactory) -> None:
+        self.factory = factory
+        self.lec_tables: Dict[str, LecTable] = {}
+        self.fibs: Dict[str, Fib] = {}
+
+    # -- snapshot ------------------------------------------------------------
+
+    def load_snapshot(self, fibs: Dict[str, Fib]) -> BaselineResult:
+        """Ingest the full data plane; measured."""
+        start = _time.perf_counter()
+        self.fibs = fibs
+        self.lec_tables = {}
+        for device, fib in fibs.items():
+            self.lec_tables[device] = build_lec_table(fib, self.factory)
+            fib.consume_dirty()  # the snapshot covers everything so far
+        self._build_classes()
+        return BaselineResult(
+            compute_seconds=_time.perf_counter() - start,
+            classes=self.num_classes(),
+        )
+
+    def _build_classes(self) -> None:
+        raise NotImplementedError
+
+    def num_classes(self) -> int:
+        raise NotImplementedError
+
+    def classes_overlapping(self, region: Predicate) -> Iterable[Predicate]:
+        """The tool's equivalence classes intersecting ``region``."""
+        raise NotImplementedError
+
+    # -- verification -----------------------------------------------------------
+
+    def _action_of(self, ec: Predicate) -> Callable[[str], Optional[Action]]:
+        """Per-device action lookup for one equivalence class."""
+
+        def lookup(device: str) -> Optional[Action]:
+            table = self.lec_tables.get(device)
+            if table is None:
+                return None
+            return table.action_for(ec)
+
+        return lookup
+
+    def check_plan(self, plan: Plan, region: Optional[Predicate] = None) -> bool:
+        """Verify one plan by counting each overlapping class."""
+        space = plan.invariant.packet_space
+        if region is not None:
+            space = space & region
+            if space.is_empty:
+                return True
+        for ec in self.classes_overlapping(space):
+            action_of = self._action_of(ec)
+            counts = count_dpvnet(plan.dpvnet, action_of)
+            for node_id in plan.root_nodes.values():
+                if not plan.holds(counts[node_id]):
+                    return False
+        return True
+
+    def verify(
+        self, plans: Sequence[Tuple[str, Plan]], region: Optional[Predicate] = None
+    ) -> BaselineResult:
+        """Verify many plans; measured."""
+        start = _time.perf_counter()
+        failing = []
+        for plan_id, plan in plans:
+            if not self.check_plan(plan, region):
+                failing.append(plan_id)
+        return BaselineResult(
+            compute_seconds=_time.perf_counter() - start,
+            holds=not failing,
+            failing_plans=tuple(failing),
+            classes=self.num_classes(),
+        )
+
+    # -- incremental ----------------------------------------------------------------
+
+    def apply_update(
+        self,
+        device: str,
+        plans: Sequence[Tuple[str, Plan]],
+    ) -> BaselineResult:
+        """Re-ingest ``device``'s data plane after a rule update and
+        re-verify.  Measured; subclasses override the class-maintenance
+        strategy."""
+        start = _time.perf_counter()
+        old_table = self.lec_tables.get(device)
+        dirty = self.fibs[device].consume_dirty()
+        if old_table is not None and dirty is not None and not dirty.is_full:
+            # Same incremental LEC maintenance the on-device verifiers
+            # use -- the tools differ in EC upkeep, not rule ingestion.
+            from repro.dataplane.lec import apply_lec_update
+
+            new_table, changes = apply_lec_update(
+                old_table, self.fibs[device], self.factory, dirty
+            )
+            self.lec_tables[device] = new_table
+            if not changes:
+                return BaselineResult(_time.perf_counter() - start, holds=True)
+            region = self.factory.union(p for (p, _, _) in changes)
+        else:
+            new_table = build_lec_table(self.fibs[device], self.factory)
+            self.lec_tables[device] = new_table
+            region = self._changed_region(old_table, new_table)
+        if region is None or region.is_empty:
+            return BaselineResult(_time.perf_counter() - start, holds=True)
+        self._update_classes(device, region)
+        failing = []
+        for plan_id, plan in plans:
+            if plan.invariant.packet_space.overlaps(region):
+                if not self.check_plan(plan, region=self._recheck_region(region)):
+                    failing.append(plan_id)
+        return BaselineResult(
+            compute_seconds=_time.perf_counter() - start,
+            holds=not failing,
+            failing_plans=tuple(failing),
+            classes=self.num_classes(),
+        )
+
+    def _changed_region(
+        self, old: Optional[LecTable], new: LecTable
+    ) -> Optional[Predicate]:
+        from repro.dataplane.lec import diff_lec_tables
+
+        if old is None:
+            return self.factory.all_packets()
+        changes = diff_lec_tables(old, new)
+        if not changes:
+            return self.factory.empty()
+        return self.factory.union(predicate for (predicate, _, _) in changes)
+
+    def _update_classes(self, device: str, region: Predicate) -> None:
+        """Maintain the class structure after a localized change."""
+        raise NotImplementedError
+
+    def _recheck_region(self, region: Predicate) -> Optional[Predicate]:
+        """Region to re-verify after an update (None = everything)."""
+        return region

@@ -1,0 +1,48 @@
+"""Management-network collection model for centralized verifiers.
+
+Centralized DPV needs every device to ship its data plane (and every
+update) to the verifier over a management network.  Following §9.3.1, the
+verifier runs on a randomly chosen device and devices reach it along
+lowest-latency paths through the topology itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.topology.graph import Topology
+
+
+class CollectionModel:
+    """Latencies from every device to the centralized verifier."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        verifier_location: Optional[str] = None,
+        seed: int = 7,
+    ) -> None:
+        self.topology = topology
+        if verifier_location is None:
+            rng = random.Random(seed)
+            verifier_location = rng.choice(sorted(topology.devices))
+        self.verifier_location = verifier_location
+        self._latency: Dict[str, float] = topology.latency_distances(
+            verifier_location
+        )
+
+    def latency_from(self, device: str) -> float:
+        """One-way latency from ``device`` to the verifier."""
+        try:
+            return self._latency[device]
+        except KeyError:
+            raise KeyError(f"device {device!r} unreachable from verifier") from None
+
+    def burst_collection_latency(self) -> float:
+        """Time until the last device's snapshot arrives (concurrent sends)."""
+        return max(self._latency.values())
+
+    def update_latency(self, device: str) -> float:
+        """Time for one device's incremental update to arrive."""
+        return self.latency_from(device)

@@ -1,0 +1,92 @@
+"""Delta-net [Horn et al., NSDI'17]: interval atoms over destination IPs.
+
+Represents the destination-IP space as a sorted list of disjoint
+intervals ("atoms") whose boundaries are the endpoints of every rule's
+prefix range.  Rule updates touch only the atoms inside the rule's range,
+making per-update work tiny -- but the representation fundamentally
+cannot express matches on other header fields (the paper's §9.3.4
+observation that atoms "only work for destination IP-prefix-based data
+planes").
+
+Atoms convert to BDD predicates lazily (cached) when handing classes to
+the shared counting backend."""
+
+from __future__ import annotations
+
+import bisect
+import ipaddress
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.baselines.base import CentralizedVerifier
+from repro.dataplane.fib import Fib
+from repro.packetspace.predicate import Predicate
+
+
+def _prefix_range(cidr: str) -> Tuple[int, int]:
+    """[lo, hi) integer range of a destination prefix."""
+    network = ipaddress.ip_network(cidr, strict=False)
+    lo = int(network.network_address)
+    return lo, lo + network.num_addresses
+
+
+class DeltaNetVerifier(CentralizedVerifier):
+    """Interval-atom representation (dstIP only)."""
+
+    name = "Delta-net"
+    dst_prefix_only = True
+
+    def __init__(self, factory) -> None:
+        super().__init__(factory)
+        self._boundaries: List[int] = [0, 1 << 32]
+        self._predicate_cache: Dict[Tuple[int, int], Predicate] = {}
+
+    # -- atom maintenance -------------------------------------------------------
+
+    def _rule_ranges(self) -> Iterable[Tuple[int, int]]:
+        for fib in self.fibs.values():
+            for rule in fib:
+                if not rule.label or "/" not in rule.label:
+                    raise ValueError(
+                        "Delta-net requires destination-prefix rules "
+                        f"(rule {rule!r} has no prefix label)"
+                    )
+                yield _prefix_range(rule.label)
+
+    def _build_classes(self) -> None:
+        boundaries = {0, 1 << 32}
+        for lo, hi in self._rule_ranges():
+            boundaries.add(lo)
+            boundaries.add(hi)
+        self._boundaries = sorted(boundaries)
+
+    def num_classes(self) -> int:
+        return len(self._boundaries) - 1
+
+    def _atom_predicate(self, lo: int, hi: int) -> Predicate:
+        key = (lo, hi)
+        cached = self._predicate_cache.get(key)
+        if cached is None:
+            cached = self.factory.field_range("dst_ip", lo, hi - 1)
+            self._predicate_cache[key] = cached
+        return cached
+
+    def classes_overlapping(self, region: Predicate) -> Iterable[Predicate]:
+        for index in range(len(self._boundaries) - 1):
+            lo, hi = self._boundaries[index], self._boundaries[index + 1]
+            atom = self._atom_predicate(lo, hi)
+            overlap = atom & region
+            if not overlap.is_empty:
+                yield overlap
+
+    def _update_classes(self, device: str, region: Predicate) -> None:
+        """Insert the updated rules' boundaries (atoms only ever split)."""
+        for rule in self.fibs[device]:
+            if rule.label and "/" in rule.label:
+                lo, hi = _prefix_range(rule.label)
+                for boundary in (lo, hi):
+                    index = bisect.bisect_left(self._boundaries, boundary)
+                    if (
+                        index == len(self._boundaries)
+                        or self._boundaries[index] != boundary
+                    ):
+                        self._boundaries.insert(index, boundary)

@@ -1,0 +1,13 @@
+"""Reduced ordered binary decision diagrams (ROBDD).
+
+The paper encodes packet sets as BDD predicates (via the JDD Java library)
+so that set operations on packet spaces become constant-amortized logical
+operations on canonical graphs.  This package is a from-scratch,
+dependency-free ROBDD engine with hash consing, memoized apply, and a
+binary serialization format used by the DVM wire codec.
+"""
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager
+from repro.bdd.serialize import deserialize_bdd, serialize_bdd
+
+__all__ = ["BDDManager", "FALSE", "TRUE", "serialize_bdd", "deserialize_bdd"]

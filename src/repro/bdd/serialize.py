@@ -1,0 +1,91 @@
+"""Binary serialization of BDD nodes for the DVM wire format.
+
+The paper adapts the JDD library to serialize BDDs into Protobuf so that
+predicates can travel between devices inside UPDATE messages.  We use a
+compact big-endian format instead:
+
+    u32 node_count
+    node_count * (u32 var, u32 low, u32 high)   -- in topological order
+    u32 root
+
+Node ids inside the payload are indices into the serialized table
+(0 = FALSE, 1 = TRUE, internal nodes start at 2), so a payload can be
+loaded into *any* manager with a compatible variable layout; the receiving
+manager re-canonicalizes every node through its own unique table.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager
+
+_HEADER = struct.Struct("!I")
+_NODE = struct.Struct("!III")
+
+
+def serialize_bdd(manager: BDDManager, root: int) -> bytes:
+    """Encode the BDD rooted at ``root`` as bytes."""
+    if root == FALSE or root == TRUE:
+        return _HEADER.pack(0) + _HEADER.pack(root)
+
+    order: List[int] = []
+    index: Dict[int, int] = {FALSE: 0, TRUE: 1}
+    # Iterative post-order so children are assigned indices before parents.
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in index:
+            continue
+        if expanded:
+            index[node] = len(order) + 2
+            order.append(node)
+        else:
+            stack.append((node, True))
+            stack.append((manager.high_of(node), False))
+            stack.append((manager.low_of(node), False))
+
+    parts = [_HEADER.pack(len(order))]
+    for node in order:
+        parts.append(
+            _NODE.pack(
+                manager.var_of(node),
+                index[manager.low_of(node)],
+                index[manager.high_of(node)],
+            )
+        )
+    parts.append(_HEADER.pack(index[root]))
+    return b"".join(parts)
+
+
+def deserialize_bdd(manager: BDDManager, payload: bytes) -> int:
+    """Decode ``payload`` into ``manager``, returning the root node."""
+    if len(payload) < _HEADER.size:
+        raise ValueError("truncated BDD payload: missing header")
+    (count,) = _HEADER.unpack_from(payload, 0)
+    expected = _HEADER.size + count * _NODE.size + _HEADER.size
+    if len(payload) != expected:
+        raise ValueError(
+            f"corrupt BDD payload: expected {expected} bytes, got {len(payload)}"
+        )
+    nodes: List[int] = [FALSE, TRUE]
+    offset = _HEADER.size
+    for _ in range(count):
+        var, low, high = _NODE.unpack_from(payload, offset)
+        offset += _NODE.size
+        if low >= len(nodes) or high >= len(nodes):
+            raise ValueError("corrupt BDD payload: forward reference")
+        if var >= manager.num_vars:
+            raise ValueError(
+                f"BDD payload uses variable {var} but manager has "
+                f"{manager.num_vars} variables"
+            )
+        # Recreate through the manager to restore canonicity.
+        nodes.append(
+            manager.ite(manager.var(var), nodes[high], nodes[low])
+        )
+    (root_index,) = _HEADER.unpack_from(payload, offset)
+    if root_index >= len(nodes):
+        raise ValueError("corrupt BDD payload: bad root index")
+    return nodes[root_index]

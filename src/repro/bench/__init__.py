@@ -1,0 +1,40 @@
+"""Benchmark harness: workloads, runners and paper-style reporting.
+
+One module per concern:
+
+* :mod:`repro.bench.workloads` -- invariant sets, rule-update streams,
+  error injection and fault scenes for each dataset;
+* :mod:`repro.bench.runners` -- drive Tulkun (simulated) and the
+  centralized baselines over a workload and collect timings;
+* :mod:`repro.bench.reporting` -- print the rows/series each paper
+  figure reports (acceleration ratios, <10 ms percentages, quantiles,
+  CDFs).
+"""
+
+from repro.bench.workloads import (
+    Workload,
+    build_workload,
+    random_rule_updates,
+    random_fault_scenes,
+)
+from repro.bench.runners import (
+    BaselineTiming,
+    TulkunTiming,
+    run_baseline_burst,
+    run_baseline_incremental,
+    run_tulkun_burst,
+    run_tulkun_incremental,
+)
+
+__all__ = [
+    "Workload",
+    "build_workload",
+    "random_rule_updates",
+    "random_fault_scenes",
+    "TulkunTiming",
+    "BaselineTiming",
+    "run_tulkun_burst",
+    "run_tulkun_incremental",
+    "run_baseline_burst",
+    "run_baseline_incremental",
+]

@@ -1,0 +1,166 @@
+"""Benchmark runners: drive Tulkun and the baselines over a workload.
+
+Tulkun runs inside the event-driven simulator, so its verification time
+is simulation time (real per-event compute + simulated propagation).
+A centralized baseline's time is simulated collection latency + measured
+compute wall time, per §9.3.1's methodology.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.baselines.base import CentralizedVerifier
+from repro.baselines.collection import CollectionModel
+from repro.bench.workloads import RuleUpdate, Workload
+from repro.simulator.network import DeviceProfile, SimulatedNetwork
+from repro.topology.graph import FaultScene
+
+
+@dataclass
+class TulkunTiming:
+    """Timings of one Tulkun run over a workload."""
+
+    burst_seconds: float = 0.0
+    incremental_seconds: List[float] = field(default_factory=list)
+    messages: int = 0
+    bytes: int = 0
+    network: Optional[SimulatedNetwork] = None
+
+
+@dataclass
+class BaselineTiming:
+    """Timings of one centralized baseline over a workload."""
+
+    name: str = ""
+    burst_seconds: float = 0.0
+    incremental_seconds: List[float] = field(default_factory=list)
+    verifier: Optional[CentralizedVerifier] = None
+    collection: Optional[CollectionModel] = None
+
+
+def run_tulkun_burst(
+    workload: Workload,
+    profile: DeviceProfile = DeviceProfile(),
+    strict_wire: bool = False,
+) -> TulkunTiming:
+    """Burst update: plans distributed, then all devices count at once."""
+    network = SimulatedNetwork(
+        workload.topology,
+        workload.fibs,
+        workload.factory,
+        profile=profile,
+        strict_wire=strict_wire,
+    )
+    elapsed = network.install_plans(dict(workload.plans))
+    return TulkunTiming(
+        burst_seconds=elapsed,
+        messages=network.stats.messages,
+        bytes=network.stats.bytes,
+        network=network,
+    )
+
+
+def run_tulkun_incremental(
+    workload: Workload,
+    updates: Sequence[RuleUpdate],
+    network: Optional[SimulatedNetwork] = None,
+    profile: DeviceProfile = DeviceProfile(),
+) -> TulkunTiming:
+    """Apply updates one by one; records per-update convergence times."""
+    timing = TulkunTiming()
+    if network is None:
+        burst = run_tulkun_burst(workload, profile)
+        network = burst.network
+        timing.burst_seconds = burst.burst_seconds
+    for update in updates:
+        elapsed = network.fib_update(update.device, update.apply)
+        timing.incremental_seconds.append(elapsed)
+    timing.messages = network.stats.messages
+    timing.bytes = network.stats.bytes
+    timing.network = network
+    return timing
+
+
+def run_baseline_burst(
+    verifier_cls: Type[CentralizedVerifier],
+    workload: Workload,
+    collection: Optional[CollectionModel] = None,
+) -> BaselineTiming:
+    """Snapshot + verify with collection latency added."""
+    collection = collection or CollectionModel(workload.topology)
+    verifier = verifier_cls(workload.factory)
+    load = verifier.load_snapshot(workload.fibs)
+    result = verifier.verify(workload.plans)
+    return BaselineTiming(
+        name=verifier_cls.name,
+        burst_seconds=(
+            collection.burst_collection_latency()
+            + load.compute_seconds
+            + result.compute_seconds
+        ),
+        verifier=verifier,
+        collection=collection,
+    )
+
+
+def run_baseline_incremental(
+    workload: Workload,
+    updates: Sequence[RuleUpdate],
+    verifier: CentralizedVerifier,
+    collection: CollectionModel,
+) -> BaselineTiming:
+    """Per-update: one-way latency to the verifier + incremental compute."""
+    timing = BaselineTiming(
+        name=verifier.name, verifier=verifier, collection=collection
+    )
+    for update in updates:
+        update.apply()
+        result = verifier.apply_update(update.device, workload.plans)
+        timing.incremental_seconds.append(
+            collection.update_latency(update.device) + result.compute_seconds
+        )
+    return timing
+
+
+def run_tulkun_fault_scenes(
+    workload: Workload,
+    scenes: Sequence[FaultScene],
+    profile: DeviceProfile = DeviceProfile(),
+) -> List[float]:
+    """§9.3.4: per scene, fail the links and measure recounting time.
+
+    Each scene starts from a freshly converged intact network (scenes are
+    independent in the paper's methodology).
+    """
+    times: List[float] = []
+    for scene in scenes:
+        network = SimulatedNetwork(
+            workload.topology, workload.fibs, workload.factory, profile=profile
+        )
+        network.install_plans(dict(workload.plans))
+        start = network.queue.now
+        for (a, b) in scene:
+            network._failed_links.add(tuple(sorted((a, b))))
+        for (a, b) in scene:
+            network._link_event(a, b, up=False)
+        times.append(network.queue.now - start)
+    return times
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q`` quantile (0..1) of ``values`` (nearest-rank)."""
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[index]
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values strictly below ``threshold``."""
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value < threshold) / len(values)

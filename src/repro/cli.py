@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      -- run the Figure 2 walkthrough (violation, fix, re-verify).
+* ``datasets``  -- print the Figure 10 dataset statistics table.
+* ``verify``    -- verify an invariant on a built-in dataset or a JSON
+  topology + data plane (see :mod:`repro.io` for the formats).
+
+Examples::
+
+    python -m repro demo
+    python -m repro datasets
+    python -m repro verify --dataset INet2 \
+        --invariant "(dstIP = 10.0.0.0/24, [INet2-r1], \
+                      (exist >= 1, INet2-r1.*INet2-r0 and loop_free))"
+    python -m repro verify --topology net.json --fibs rules.json \
+        --invariant "(*, [S], (exist >= 1, S.*D))"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import Tulkun
+from repro.dataplane.routes import RouteConfig, install_routes
+from repro.packetspace.fields import DSTIP_ONLY_LAYOUT
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    from repro.dataplane.actions import Forward
+    from repro.dataplane.routes import PRIORITY_ERROR
+    from repro.topology.generators import paper_example
+
+    tulkun = Tulkun(paper_example(), layout=DSTIP_ONLY_LAYOUT)
+    fibs = install_routes(tulkun.topology, tulkun.factory, RouteConfig(ecmp="any"))
+    deployment = tulkun.deploy(fibs)
+    invariant = tulkun.parse(
+        "(dstIP = 10.0.0.0/23, [S], (exist >= 1, S.*W.*D and loop_free))",
+        name="waypoint-via-W",
+    )
+    report = deployment.verify(invariant)
+    print(f"initial: {report}")
+    packets = tulkun.factory.dst_prefix("10.0.0.0/23")
+    seconds = deployment.update_rule(
+        "A",
+        lambda: fibs["A"].insert(PRIORITY_ERROR, packets, Forward(["W"])),
+    )
+    print(f"applied fix at A; incremental verification {seconds * 1e3:.3f} ms")
+    print(f"final: {deployment.reports()[0]}")
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    from repro.bench.reporting import print_table
+    from repro.topology.datasets import dataset_statistics
+
+    print_table("Figure 10: dataset statistics", dataset_statistics())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.dataset and args.topology:
+        print("use either --dataset or --topology, not both", file=sys.stderr)
+        return 2
+    if args.dataset:
+        from repro.topology.datasets import load_dataset
+
+        topology = load_dataset(args.dataset)
+        tulkun = Tulkun(topology, layout=DSTIP_ONLY_LAYOUT)
+        fibs = install_routes(
+            topology, tulkun.factory, RouteConfig(ecmp=args.ecmp)
+        )
+    elif args.topology:
+        from repro.io import load_fibs, load_topology
+        from repro.packetspace.fields import DEFAULT_LAYOUT
+
+        topology = load_topology(args.topology)
+        tulkun = Tulkun(topology, layout=DEFAULT_LAYOUT)
+        if not args.fibs:
+            print("--topology requires --fibs", file=sys.stderr)
+            return 2
+        fibs = load_fibs(args.fibs, tulkun.factory, topology)
+    else:
+        print("need --dataset or --topology", file=sys.stderr)
+        return 2
+
+    deployment = tulkun.deploy(fibs)
+    invariant = tulkun.parse(args.invariant, name="cli")
+    report = deployment.verify(invariant)
+    print(report)
+    for verdict in report.failing_regions():
+        print(
+            f"  VIOLATED at ingress {verdict.ingress}: delivery counts "
+            f"{sorted(verdict.counts.tuples)}"
+        )
+    for violation in report.violations:
+        print(f"  {violation.device}/{violation.node_id}: {violation.reason}")
+    return 0 if report.holds else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tulkun: distributed, on-device data plane verification",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the Figure 2 walkthrough")
+    commands.add_parser("datasets", help="print Figure 10 dataset statistics")
+
+    verify = commands.add_parser("verify", help="verify one invariant")
+    verify.add_argument("--dataset", help="built-in dataset name (e.g. INet2)")
+    verify.add_argument("--topology", help="topology JSON file")
+    verify.add_argument("--fibs", help="data plane JSON file")
+    verify.add_argument(
+        "--ecmp",
+        default="any",
+        choices=("any", "single", "all"),
+        help="route generation mode for --dataset (default: any)",
+    )
+    verify.add_argument(
+        "--invariant", required=True, help="invariant program (§3 syntax)"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "datasets": _cmd_datasets,
+        "verify": _cmd_verify,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Public API: the :class:`Tulkun` facade.
+
+Typical usage::
+
+    from repro.core import Tulkun
+    from repro.topology import paper_example
+    from repro.dataplane import install_routes, RouteConfig
+
+    tulkun = Tulkun(paper_example())
+    fibs = install_routes(tulkun.topology, tulkun.factory, RouteConfig())
+    deployment = tulkun.deploy(fibs)
+    invariant = tulkun.parse(
+        "(dstIP = 10.0.0.0/23, [S], (exist >= 1, S.*W.*D and loop_free))"
+    )
+    report = deployment.verify(invariant)
+    assert report.holds
+"""
+
+from repro.core.api import Deployment, Report, Tulkun
+from repro.core.errors import TulkunError
+
+__all__ = ["Tulkun", "Deployment", "Report", "TulkunError"]

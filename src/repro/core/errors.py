@@ -1,0 +1,12 @@
+"""Top-level exception types."""
+
+from __future__ import annotations
+
+
+class TulkunError(RuntimeError):
+    """Base class for user-facing Tulkun errors."""
+
+
+class InconsistentInvariantError(TulkunError):
+    """The packet space's destination IPs do not belong to the path
+    expressions' destination devices (§3's consistency check)."""

@@ -1,0 +1,13 @@
+"""Counting algebra over packet universes (paper §4.2).
+
+A :class:`CountSet` is the set of distinct delivery-count outcomes of a
+packet across its universes: each element is a tuple with one component
+per path expression of the invariant (plain invariants have dimension 1).
+``cross_sum`` is the paper's ⊗ (ALL-type actions: copies add up across
+subtrees) and ``union`` its ⊕ (ANY-type actions: one universe per choice).
+"""
+
+from repro.counting.counts import CountSet
+from repro.counting.algorithm1 import count_dpvnet
+
+__all__ = ["CountSet", "count_dpvnet"]

@@ -1,0 +1,89 @@
+"""Algorithm 1: backward counting along DPVNet (paper §4.2).
+
+This is the *centralized reference implementation* of the counting
+traversal -- a reverse topological pass over the DAG applying Equations
+(1) and (2) at every node.  The distributed DVM verifiers compute exactly
+the same fixpoint event-by-event; tests cross-check the two.
+
+``action_of`` abstracts the data plane: it returns the single action a
+device applies to the packet under consideration (callers split packet
+spaces into per-action predicates first, e.g. via the LEC table).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.counting.counts import CountSet, cross_sum_all, union_all
+from repro.dataplane.actions import Action, Forward, ANY
+from repro.planner.dpvnet import DpvNet, DpvNode
+
+
+def count_node(
+    node: DpvNode,
+    action_of: Callable[[str], Optional[Action]],
+    child_counts: Dict[str, CountSet],
+    dim: int,
+    scene_index: int = 0,
+) -> CountSet:
+    """Count at one node given its downstream neighbors' counts.
+
+    * Deliver: one copy delivered for every regex accepting here in this
+      scene (the paper's ``c = 1`` destination initialization, with the
+      refinement that the destination's own data plane must actually
+      deliver -- a blackhole at the destination is an error too).
+    * Drop or unknown action: zero copies.
+    * Forward/ALL (Eq. 1): ⊗ of the counts of downstream neighbors the
+      device forwards to; copies sent to devices outside the DPVNet can
+      never re-enter it (their counts are simply absent).
+    * Forward/ANY (Eq. 2): ⊕ of those counts, plus the zero outcome when
+      some next hop has no usable DPVNet edge (δ = 1).
+    """
+    action = action_of(node.dev)
+    if action is None or action.is_drop:
+        return CountSet.zero(dim)
+    if action.is_deliver:
+        components = [
+            regex for (regex, scene) in node.accept if scene == scene_index
+        ]
+        if not components:
+            return CountSet.zero(dim)
+        return CountSet.delivered(dim, components)
+
+    assert isinstance(action, Forward)
+    usable = []
+    missing = False
+    for hop in action.next_hops:
+        edge = node.children.get(hop)
+        if edge is not None and any(
+            scene == scene_index for (_, scene) in edge.labels
+        ):
+            usable.append(child_counts[edge.child.node_id])
+        else:
+            missing = True
+    if action.kind == ANY:
+        if not usable:
+            return CountSet.zero(dim)
+        combined = union_all(dim, usable)
+        return combined.with_zero() if missing else combined
+    if not usable:
+        return CountSet.zero(dim)
+    return cross_sum_all(dim, usable)
+
+
+def count_dpvnet(
+    dpvnet: DpvNet,
+    action_of: Callable[[str], Optional[Action]],
+    scene_index: int = 0,
+) -> Dict[str, CountSet]:
+    """Run Algorithm 1; returns the count set at every node by node id.
+
+    Verdicts are read at the root nodes (``dpvnet.roots``).
+    """
+    dim = dpvnet.num_regexes
+    counts: Dict[str, CountSet] = {}
+    for node in reversed(dpvnet.topo_order):
+        counts[node.node_id] = count_node(
+            node, action_of, counts, dim, scene_index
+        )
+    return counts

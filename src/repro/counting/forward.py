@@ -1,0 +1,75 @@
+"""Forward propagation along DPVNet (the §7 ablation).
+
+The paper chooses *backward* counting because it leaves every device with
+the count from itself to the destination (reusable by rerouting
+services); forward propagation computes the verdict only at the
+destination.  This module is the forward reference implementation used by
+``benchmarks/test_ablation_direction``.
+
+Scope: data planes without ANY-type actions (deterministic forwarding
+and ALL-type multicast).  Under ANY-type actions forward propagation must
+track one in-flight copy multiset per universe, whose number grows with
+the product of group sizes along the DAG -- backward counting's per-node
+count *sets* collapse exactly that blow-up, which is the design point the
+ablation demonstrates.  Calling this with an ANY action raises.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.counting.counts import CountSet
+from repro.dataplane.actions import ANY, Action, Forward
+from repro.planner.dpvnet import DpvNet
+
+
+class ForwardCountingUnsupported(ValueError):
+    """Raised for ANY-type actions (universes explode going forward)."""
+
+
+def forward_count_dpvnet(
+    dpvnet: DpvNet,
+    action_of: Callable[[str], Optional[Action]],
+    ingress: str,
+    scene_index: int = 0,
+) -> CountSet:
+    """Copies delivered to the destination, by pushing counts forward.
+
+    ``arriving[node]`` accumulates how many copies of the packet reach
+    the node (summed across all DAG paths into it); delivering nodes add
+    their arrivals to the final count.  Single-regex DPVNets only.
+    """
+    if dpvnet.num_regexes != 1:
+        raise ValueError("forward counting supports single-regex DPVNets")
+    root = dpvnet.roots[ingress]
+    arriving: Dict[str, int] = {
+        node.node_id: 0 for node in dpvnet.topo_order
+    }
+    arriving[root.node_id] = 1
+    delivered = 0
+
+    for node in dpvnet.topo_order:  # parents before children
+        copies = arriving[node.node_id]
+        if copies == 0:
+            continue
+        action = action_of(node.dev)
+        if action is None or action.is_drop:
+            continue
+        if action.is_deliver:
+            if any(scene == scene_index for (_, scene) in node.accept):
+                delivered += copies
+            continue
+        assert isinstance(action, Forward)
+        if action.kind == ANY and len(action.next_hops) > 1:
+            raise ForwardCountingUnsupported(
+                f"device {node.dev!r} uses an ANY-type group; forward "
+                "propagation cannot track its universes compactly (§7)"
+            )
+        for hop in action.next_hops:
+            edge = node.children.get(hop)
+            if edge is not None and any(
+                scene == scene_index for (_, scene) in edge.labels
+            ):
+                arriving[edge.child.node_id] += copies
+
+    return CountSet.scalar(delivered)

@@ -1,0 +1,124 @@
+"""Forwarding actions (§2.1 data plane model).
+
+``Forward`` carries a next-hop group and its type: ``ALL`` replicates the
+packet to every member (multicast); ``ANY`` delivers to exactly one member
+chosen by an opaque, vendor-specific rule (ECMP) -- the source of the
+paper's packet "universes".  ``Drop`` is a forward to an empty group;
+``Deliver`` hands the packet to an external port at its destination
+device.  Actions are immutable and hashable so LEC tables can group rules
+by identical action.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.packetspace.transform import Rewrite
+
+ALL = "ALL"
+ANY = "ANY"
+
+
+class Action:
+    """Base class for data plane actions."""
+
+    __slots__ = ()
+
+    @property
+    def next_hops(self) -> Tuple[str, ...]:
+        return ()
+
+    @property
+    def is_drop(self) -> bool:
+        return False
+
+    @property
+    def is_deliver(self) -> bool:
+        return False
+
+
+class Drop(Action):
+    """Discard the packet (empty next-hop group)."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Drop)
+
+    def __hash__(self) -> int:
+        return hash(Drop)
+
+    @property
+    def is_drop(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "Drop()"
+
+
+class Deliver(Action):
+    """Deliver the packet out an external port (it has arrived)."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Deliver)
+
+    def __hash__(self) -> int:
+        return hash(Deliver)
+
+    @property
+    def is_deliver(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "Deliver()"
+
+
+class Forward(Action):
+    """Forward to a non-empty group of next-hop devices.
+
+    ``kind`` is ``ALL`` (replicate to every member) or ``ANY`` (one member,
+    selection unknown).  A single next hop is the same under both kinds; we
+    canonicalize it to ``ALL`` so action equality is semantic.  ``rewrite``
+    optionally transforms headers before forwarding.
+    """
+
+    __slots__ = ("kind", "_next_hops", "rewrite")
+
+    def __init__(
+        self,
+        next_hops: Iterable[str],
+        kind: str = ALL,
+        rewrite: Optional[Rewrite] = None,
+    ) -> None:
+        hops: Tuple[str, ...] = tuple(sorted(set(next_hops)))
+        if not hops:
+            raise ValueError("Forward requires a non-empty next-hop group; use Drop")
+        if kind not in (ALL, ANY):
+            raise ValueError(f"unknown group kind {kind!r}")
+        if len(hops) == 1:
+            kind = ALL  # single-member groups behave identically
+        self.kind = kind
+        self._next_hops = hops
+        self.rewrite = rewrite
+
+    @property
+    def next_hops(self) -> Tuple[str, ...]:
+        return self._next_hops
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Forward):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self._next_hops == other._next_hops
+            and self.rewrite == other.rewrite
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self._next_hops, self.rewrite))
+
+    def __repr__(self) -> str:
+        rewrite = f", rewrite={self.rewrite!r}" if self.rewrite else ""
+        return f"Forward({list(self._next_hops)}, kind={self.kind!r}{rewrite})"

@@ -1,0 +1,42 @@
+"""The Distributed Verification Messaging (DVM) protocol (paper §5).
+
+On-device verifiers exchange counting results over reliable in-order
+channels along reversed DPVNet edges.  Because messages travel against a
+DAG, no loop prevention is needed (§5's contrast with vector routing).
+
+* :mod:`repro.dvm.messages` -- message types and the binary wire codec.
+* :mod:`repro.dvm.cib` -- CIBIn / LocCIB / CIBOut counting state.
+* :mod:`repro.dvm.verifier` -- the event-driven on-device verifier.
+* :mod:`repro.dvm.linkstate` -- failure-scene flooding for §6.
+"""
+
+from repro.dvm.messages import (
+    KeepaliveMessage,
+    Message,
+    OpenMessage,
+    SubscribeMessage,
+    UpdateMessage,
+    decode_message,
+    encode_message,
+)
+from repro.dvm.cib import CibEntry, CibIn, CibOut, LocCib, LocEntry
+from repro.dvm.verifier import OnDeviceVerifier, Violation
+from repro.dvm.linkstate import LinkStateMessage
+
+__all__ = [
+    "Message",
+    "OpenMessage",
+    "KeepaliveMessage",
+    "UpdateMessage",
+    "SubscribeMessage",
+    "LinkStateMessage",
+    "encode_message",
+    "decode_message",
+    "CibEntry",
+    "CibIn",
+    "LocCib",
+    "LocEntry",
+    "CibOut",
+    "OnDeviceVerifier",
+    "Violation",
+]

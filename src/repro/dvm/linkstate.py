@@ -1,0 +1,107 @@
+"""Link-state flooding of failure scenes (paper §6).
+
+When a verifier detects a local link failure (or recovery) it floods a
+link-state advertisement to all physical neighbors, who re-flood unseen
+advertisements -- a miniature OSPF-style synchronization (the paper cites
+Open/R and OSPF).  Sequence numbers per origin device make flooding
+idempotent and let recoveries supersede failures.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.dvm.messages import Message, _pack_str, _unpack_str
+
+_U32 = struct.Struct("!I")
+_U8 = struct.Struct("!B")
+
+
+@dataclass(frozen=True)
+class LinkStateMessage(Message):
+    """One advertisement: ``link`` is ``up`` or down as seen by ``origin``."""
+
+    origin: str
+    sequence: int
+    link: Tuple[str, str]
+    up: bool
+
+
+def encode_linkstate_body(message: LinkStateMessage) -> bytes:
+    return b"".join(
+        [
+            _pack_str(message.plan_id),
+            _pack_str(message.origin),
+            _U32.pack(message.sequence),
+            _pack_str(message.link[0]),
+            _pack_str(message.link[1]),
+            _U8.pack(1 if message.up else 0),
+        ]
+    )
+
+
+def decode_linkstate_body(body: bytes) -> LinkStateMessage:
+    offset = 0
+    plan_id, offset = _unpack_str(body, offset)
+    origin, offset = _unpack_str(body, offset)
+    (sequence,) = _U32.unpack_from(body, offset)
+    offset += _U32.size
+    link_a, offset = _unpack_str(body, offset)
+    link_b, offset = _unpack_str(body, offset)
+    (up,) = _U8.unpack_from(body, offset)
+    return LinkStateMessage(
+        plan_id=plan_id,
+        origin=origin,
+        sequence=sequence,
+        link=(link_a, link_b),
+        up=bool(up),
+    )
+
+
+class LinkStateDatabase:
+    """Per-device view of failed links, fed by flooding."""
+
+    def __init__(self) -> None:
+        self._sequences: Dict[Tuple[str, Tuple[str, str]], int] = {}
+        self._failed: Set[Tuple[str, str]] = set()
+
+    @property
+    def failed_links(self) -> frozenset:
+        return frozenset(self._failed)
+
+    def _normalize(self, link: Tuple[str, str]) -> Tuple[str, str]:
+        a, b = link
+        return (a, b) if a <= b else (b, a)
+
+    def observe(self, message: LinkStateMessage) -> bool:
+        """Apply an advertisement; True when it was new (re-flood it)."""
+        link = self._normalize(message.link)
+        key = (message.origin, link)
+        last = self._sequences.get(key, -1)
+        if message.sequence <= last:
+            return False
+        self._sequences[key] = message.sequence
+        if message.up:
+            self._failed.discard(link)
+        else:
+            self._failed.add(link)
+        return True
+
+    def local_event(
+        self, plan_id: str, origin: str, link: Tuple[str, str], up: bool
+    ) -> LinkStateMessage:
+        """Record a locally observed link event and mint its advertisement."""
+        normalized = self._normalize(link)
+        key = (origin, normalized)
+        sequence = self._sequences.get(key, -1) + 1
+        message = LinkStateMessage(
+            plan_id=plan_id,
+            origin=origin,
+            sequence=sequence,
+            link=normalized,
+            up=up,
+        )
+        self.observe(message)
+        return message

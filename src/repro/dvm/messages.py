@@ -1,0 +1,268 @@
+"""DVM message types and binary wire codec (paper §5.2, §8).
+
+An UPDATE message carries, for one DPVNet link ``(up_node, down_node)``
+traversed in reverse:
+
+* *withdrawn predicates* -- the regions whose previous results are now
+  obsolete, and
+* *incoming counting results* -- ``(predicate, count set)`` pairs with the
+  latest counts,
+
+obeying the protocol principle that the union of withdrawn predicates
+equals the union of the incoming predicates, so receivers always hold
+complete, latest information.
+
+The wire format is length-prefixed big-endian binary; predicates travel
+as serialized BDDs (the paper serializes JDD BDDs via Protobuf -- we use
+our own codec, same role).  The codec is exercised for every message in
+the simulator, so wire size statistics in the benchmarks are real.
+
+Frame layout::
+
+    u16 magic (0xD7A1)   u8 version (1)   u8 type   u32 body_length   body
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.counting.counts import CountSet
+from repro.packetspace.predicate import Predicate, PredicateFactory
+
+MAGIC = 0xD7A1
+VERSION = 1
+
+_FRAME = struct.Struct("!HBBI")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+
+TYPE_OPEN = 1
+TYPE_KEEPALIVE = 2
+TYPE_UPDATE = 3
+TYPE_SUBSCRIBE = 4
+TYPE_LINKSTATE = 5
+
+
+class MessageDecodeError(ValueError):
+    """Raised for malformed DVM frames."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; ``plan_id`` scopes messages to one invariant's plan."""
+
+    plan_id: str
+
+
+@dataclass(frozen=True)
+class OpenMessage(Message):
+    """Session establishment between neighboring verifiers."""
+
+    device: str
+
+
+@dataclass(frozen=True)
+class KeepaliveMessage(Message):
+    """Liveness probe."""
+
+    device: str
+
+
+@dataclass(frozen=True)
+class UpdateMessage(Message):
+    """Counting results sent from a downstream node to an upstream one."""
+
+    up_node: str
+    down_node: str
+    withdrawn: Tuple[Predicate, ...]
+    results: Tuple[Tuple[Predicate, CountSet], ...]
+
+    def wire_size(self) -> int:
+        """Encoded size in bytes (message overhead metric, §9.3)."""
+        return len(encode_message(self))
+
+
+@dataclass(frozen=True)
+class SubscribeMessage(Message):
+    """Ask a downstream device for counts of a transformed predicate.
+
+    Sent when the subscriber's device rewrites packets in ``original``
+    into ``transformed`` before forwarding (paper §5.2, packet
+    transformations): the downstream node must track and report counts
+    for ``transformed``.
+    """
+
+    up_node: str
+    down_node: str
+    original: Predicate
+    transformed: Predicate
+
+
+# ---------------------------------------------------------------------------
+# primitive encoders
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ValueError("string too long for wire format")
+    return _U16.pack(len(raw)) + raw
+
+
+def _unpack_str(payload: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = _U16.unpack_from(payload, offset)
+    offset += _U16.size
+    value = payload[offset : offset + length].decode("utf-8")
+    return value, offset + length
+
+
+def _pack_bytes(raw: bytes) -> bytes:
+    return _U32.pack(len(raw)) + raw
+
+
+def _unpack_bytes(payload: bytes, offset: int) -> Tuple[bytes, int]:
+    (length,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    return payload[offset : offset + length], offset + length
+
+
+def _pack_countset(counts: CountSet) -> bytes:
+    parts = [_U16.pack(counts.dim), _U32.pack(len(counts.tuples))]
+    for element in sorted(counts.tuples):
+        parts.extend(_U32.pack(component) for component in element)
+    return b"".join(parts)
+
+
+def _unpack_countset(payload: bytes, offset: int) -> Tuple[CountSet, int]:
+    (dim,) = _U16.unpack_from(payload, offset)
+    offset += _U16.size
+    (size,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    tuples = []
+    for _ in range(size):
+        element = []
+        for _ in range(dim):
+            (component,) = _U32.unpack_from(payload, offset)
+            offset += _U32.size
+            element.append(component)
+        tuples.append(tuple(element))
+    return CountSet(dim, tuples), offset
+
+
+# ---------------------------------------------------------------------------
+# message codec
+
+
+def encode_message(message: Message) -> bytes:
+    """Encode a message into one wire frame."""
+    if isinstance(message, OpenMessage):
+        body = _pack_str(message.plan_id) + _pack_str(message.device)
+        kind = TYPE_OPEN
+    elif isinstance(message, KeepaliveMessage):
+        body = _pack_str(message.plan_id) + _pack_str(message.device)
+        kind = TYPE_KEEPALIVE
+    elif isinstance(message, UpdateMessage):
+        parts = [
+            _pack_str(message.plan_id),
+            _pack_str(message.up_node),
+            _pack_str(message.down_node),
+            _U16.pack(len(message.withdrawn)),
+        ]
+        parts.extend(
+            _pack_bytes(predicate.to_bytes()) for predicate in message.withdrawn
+        )
+        parts.append(_U16.pack(len(message.results)))
+        for predicate, counts in message.results:
+            parts.append(_pack_bytes(predicate.to_bytes()))
+            parts.append(_pack_countset(counts))
+        body = b"".join(parts)
+        kind = TYPE_UPDATE
+    elif isinstance(message, SubscribeMessage):
+        body = b"".join(
+            [
+                _pack_str(message.plan_id),
+                _pack_str(message.up_node),
+                _pack_str(message.down_node),
+                _pack_bytes(message.original.to_bytes()),
+                _pack_bytes(message.transformed.to_bytes()),
+            ]
+        )
+        kind = TYPE_SUBSCRIBE
+    else:
+        from repro.dvm.linkstate import LinkStateMessage, encode_linkstate_body
+
+        if isinstance(message, LinkStateMessage):
+            body = encode_linkstate_body(message)
+            kind = TYPE_LINKSTATE
+        else:
+            raise TypeError(f"cannot encode {message!r}")
+    return _FRAME.pack(MAGIC, VERSION, kind, len(body)) + body
+
+
+def decode_message(payload: bytes, factory: PredicateFactory) -> Message:
+    """Decode one wire frame (predicates land in ``factory``)."""
+    if len(payload) < _FRAME.size:
+        raise MessageDecodeError("frame too short")
+    magic, version, kind, length = _FRAME.unpack_from(payload, 0)
+    if magic != MAGIC:
+        raise MessageDecodeError(f"bad magic 0x{magic:04X}")
+    if version != VERSION:
+        raise MessageDecodeError(f"unsupported version {version}")
+    body = payload[_FRAME.size :]
+    if len(body) != length:
+        raise MessageDecodeError(
+            f"frame length mismatch: header says {length}, got {len(body)}"
+        )
+    offset = 0
+    if kind in (TYPE_OPEN, TYPE_KEEPALIVE):
+        plan_id, offset = _unpack_str(body, offset)
+        device, offset = _unpack_str(body, offset)
+        cls = OpenMessage if kind == TYPE_OPEN else KeepaliveMessage
+        return cls(plan_id=plan_id, device=device)
+    if kind == TYPE_UPDATE:
+        plan_id, offset = _unpack_str(body, offset)
+        up_node, offset = _unpack_str(body, offset)
+        down_node, offset = _unpack_str(body, offset)
+        (n_withdrawn,) = _U16.unpack_from(body, offset)
+        offset += _U16.size
+        withdrawn = []
+        for _ in range(n_withdrawn):
+            raw, offset = _unpack_bytes(body, offset)
+            withdrawn.append(factory.from_bytes(raw))
+        (n_results,) = _U16.unpack_from(body, offset)
+        offset += _U16.size
+        results = []
+        for _ in range(n_results):
+            raw, offset = _unpack_bytes(body, offset)
+            predicate = factory.from_bytes(raw)
+            counts, offset = _unpack_countset(body, offset)
+            results.append((predicate, counts))
+        return UpdateMessage(
+            plan_id=plan_id,
+            up_node=up_node,
+            down_node=down_node,
+            withdrawn=tuple(withdrawn),
+            results=tuple(results),
+        )
+    if kind == TYPE_SUBSCRIBE:
+        plan_id, offset = _unpack_str(body, offset)
+        up_node, offset = _unpack_str(body, offset)
+        down_node, offset = _unpack_str(body, offset)
+        raw, offset = _unpack_bytes(body, offset)
+        original = factory.from_bytes(raw)
+        raw, offset = _unpack_bytes(body, offset)
+        transformed = factory.from_bytes(raw)
+        return SubscribeMessage(
+            plan_id=plan_id,
+            up_node=up_node,
+            down_node=down_node,
+            original=original,
+            transformed=transformed,
+        )
+    if kind == TYPE_LINKSTATE:
+        from repro.dvm.linkstate import decode_linkstate_body
+
+        return decode_linkstate_body(body)
+    raise MessageDecodeError(f"unknown message type {kind}")

@@ -1,0 +1,22 @@
+"""Packet spaces as BDD-backed predicates over header fields.
+
+A :class:`HeaderLayout` maps named header fields (destination IP,
+destination port, ...) to contiguous BDD variable ranges; a
+:class:`Predicate` is an immutable set of packets supporting the usual set
+algebra.  :class:`Rewrite` models packet transformations (header rewrites)
+as relations on predicates, which the DVM protocol uses for SUBSCRIBE
+messages.
+"""
+
+from repro.packetspace.fields import DEFAULT_LAYOUT, FieldSpec, HeaderLayout
+from repro.packetspace.predicate import Predicate, PredicateFactory
+from repro.packetspace.transform import Rewrite
+
+__all__ = [
+    "FieldSpec",
+    "HeaderLayout",
+    "DEFAULT_LAYOUT",
+    "Predicate",
+    "PredicateFactory",
+    "Rewrite",
+]

@@ -1,0 +1,108 @@
+"""Header field layout: named bit fields mapped to BDD variables.
+
+The default layout covers the TCP/IP 5-tuple the paper's data plane model
+matches on.  Destination IP occupies the lowest variable indices
+(most-significant bit first) so that the dominant predicate shape --
+destination prefixes -- stays linear in prefix length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One named header field occupying ``width`` BDD variables.
+
+    ``offset`` is the index of the variable holding the field's
+    most-significant bit.
+    """
+
+    name: str
+    width: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"field {self.name!r}: width must be positive")
+        if self.offset < 0:
+            raise ValueError(f"field {self.name!r}: offset must be non-negative")
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width) - 1
+
+    def bit_var(self, bit: int) -> int:
+        """BDD variable index for bit ``bit`` (0 = most significant)."""
+        if not 0 <= bit < self.width:
+            raise ValueError(
+                f"field {self.name!r}: bit {bit} out of range [0, {self.width})"
+            )
+        return self.offset + bit
+
+    def variables(self) -> Tuple[int, ...]:
+        """All BDD variable indices of the field, MSB first."""
+        return tuple(range(self.offset, self.offset + self.width))
+
+
+class HeaderLayout:
+    """An ordered collection of non-overlapping header fields."""
+
+    def __init__(self, fields: Tuple[FieldSpec, ...]) -> None:
+        self._fields: Dict[str, FieldSpec] = {}
+        used_until = 0
+        for spec in fields:
+            if spec.name in self._fields:
+                raise ValueError(f"duplicate field name {spec.name!r}")
+            if spec.offset < used_until:
+                raise ValueError(
+                    f"field {spec.name!r} overlaps the previous field"
+                )
+            used_until = spec.offset + spec.width
+            self._fields[spec.name] = spec
+        self.num_vars = used_until
+
+    @classmethod
+    def packed(cls, *specs: Tuple[str, int]) -> "HeaderLayout":
+        """Build a layout from (name, width) pairs packed back to back."""
+        fields = []
+        offset = 0
+        for name, width in specs:
+            fields.append(FieldSpec(name, width, offset))
+            offset += width
+        return cls(tuple(fields))
+
+    def field(self, name: str) -> FieldSpec:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown header field {name!r}; known fields: "
+                f"{sorted(self._fields)}"
+            ) from None
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(self._fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{f.name}:{f.width}" for f in self._fields.values())
+        return f"HeaderLayout({parts})"
+
+
+#: The TCP/IP 5-tuple layout used throughout the library (104 variables).
+DEFAULT_LAYOUT = HeaderLayout.packed(
+    ("dst_ip", 32),
+    ("src_ip", 32),
+    ("dst_port", 16),
+    ("src_port", 16),
+    ("proto", 8),
+)
+
+#: A compact layout for destination-prefix-only data planes (e.g. the
+#: Delta-net baseline's natural habitat); much faster for big sweeps.
+DSTIP_ONLY_LAYOUT = HeaderLayout.packed(("dst_ip", 32))

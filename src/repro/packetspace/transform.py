@@ -1,0 +1,76 @@
+"""Packet transformations (header rewrites).
+
+A :class:`Rewrite` sets chosen fields to constants (the common shape of
+NAT/encapsulation rewrites in DPV datasets, cf. APT and Katra).  Applying a
+rewrite to a predicate computes the exact image: quantify the rewritten
+bits away, then constrain them to the new constant.  The pre-image is the
+set of packets that map *into* a given predicate, used when a downstream
+counting result must be translated back across a transforming hop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.packetspace.predicate import Predicate, PredicateFactory
+
+
+class Rewrite:
+    """Set each field in ``assignments`` to a constant value."""
+
+    __slots__ = ("assignments",)
+
+    def __init__(self, assignments: Dict[str, int]) -> None:
+        if not assignments:
+            raise ValueError("a rewrite must assign at least one field")
+        self.assignments: Tuple[Tuple[str, int], ...] = tuple(
+            sorted(assignments.items())
+        )
+
+    def apply(self, predicate: Predicate) -> Predicate:
+        """Image of ``predicate`` under this rewrite."""
+        factory = predicate.factory
+        node = predicate.node
+        variables = self._rewritten_vars(factory)
+        node = factory.bdd.exists(node, variables)
+        node = factory.bdd.apply_and(node, self._target_cube(factory).node)
+        return factory.from_node(node)
+
+    def inverse(self, predicate: Predicate) -> Predicate:
+        """Pre-image: packets that this rewrite maps into ``predicate``.
+
+        If the rewritten constant lies outside ``predicate``, nothing maps
+        in, so the pre-image is empty; otherwise every input value of the
+        rewritten fields maps in, so those fields become unconstrained.
+        """
+        factory = predicate.factory
+        target = self._target_cube(factory)
+        overlap = predicate & target
+        if overlap.is_empty:
+            return factory.empty()
+        node = factory.bdd.exists(overlap.node, self._rewritten_vars(factory))
+        return factory.from_node(node)
+
+    def _rewritten_vars(self, factory: PredicateFactory) -> Tuple[int, ...]:
+        variables = []
+        for name, _ in self.assignments:
+            variables.extend(factory.layout.field(name).variables())
+        return tuple(variables)
+
+    def _target_cube(self, factory: PredicateFactory) -> Predicate:
+        cube = factory.all_packets()
+        for name, value in self.assignments:
+            cube = cube & factory.field_eq(name, value)
+        return cube
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rewrite):
+            return NotImplemented
+        return self.assignments == other.assignments
+
+    def __hash__(self) -> int:
+        return hash(self.assignments)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}={value}" for name, value in self.assignments)
+        return f"Rewrite({parts})"

@@ -1,0 +1,142 @@
+"""Direct product-graph DPVNet construction (the §4.1 ablation).
+
+``product_dpvnet`` multiplies the path DFA with the topology directly:
+nodes are (device, DFA state) pairs reachable from the ingress and
+co-reachable to acceptance.  It skips path enumeration entirely, so it is
+much faster -- but it is only valid when the product is acyclic and the
+path expression has neither length filters nor ``loop_free`` (those
+constraints are path-level, not state-level).  The default trie
+construction (:func:`repro.planner.dpvnet.build_dpvnet`) handles the
+general case; ``benchmarks/test_ablation_dpvnet`` compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.planner.dpvnet import DpvEdge, DpvNet, DpvNode, PlannerError
+from repro.spec.ast import PathExp
+from repro.topology.graph import NO_FAULTS, Topology
+
+
+def product_dpvnet(
+    topology: Topology,
+    path_exp: PathExp,
+    ingresses: Sequence[str],
+) -> DpvNet:
+    """DFA x topology product as a DPVNet (single regex, no filters)."""
+    if path_exp.length_filters:
+        raise PlannerError(
+            "product construction does not support length filters; use "
+            "build_dpvnet"
+        )
+    if path_exp.effective_loop_free:
+        raise PlannerError(
+            "product construction does not support loop_free; use "
+            "build_dpvnet"
+        )
+    dfa = path_exp.compile()
+
+    # Explore reachable, alive product states from every ingress.
+    states: Set[Tuple[str, int]] = set()
+    frontier: List[Tuple[str, int]] = []
+    roots: Dict[str, Tuple[str, int]] = {}
+    for ingress in ingresses:
+        if not topology.has_device(ingress):
+            raise PlannerError(f"unknown ingress device {ingress!r}")
+        state = dfa.step(dfa.initial, ingress)
+        if not dfa.is_alive(state):
+            continue
+        key = (ingress, state)
+        roots[ingress] = key
+        if key not in states:
+            states.add(key)
+            frontier.append(key)
+    while frontier:
+        device, state = frontier.pop()
+        for peer in topology.neighbors(device):
+            next_state = dfa.step(state, peer)
+            if not dfa.is_alive(next_state):
+                continue
+            key = (peer, next_state)
+            if key not in states:
+                states.add(key)
+                frontier.append(key)
+    if not roots:
+        raise PlannerError("no valid path from any ingress")
+
+    # Topological order (raises on cycles).
+    adjacency: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
+    indegree: Dict[Tuple[str, int], int] = {key: 0 for key in states}
+    for device, state in states:
+        edges = []
+        for peer in topology.neighbors(device):
+            next_state = dfa.step(state, peer)
+            key = (peer, next_state)
+            if key in states:
+                edges.append(key)
+                indegree[key] += 1
+        adjacency[(device, state)] = edges
+    order: List[Tuple[str, int]] = [
+        key for key, degree in indegree.items() if degree == 0
+    ]
+    position = 0
+    while position < len(order):
+        for target in adjacency[order[position]]:
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                order.append(target)
+        position += 1
+    if len(order) != len(states):
+        raise PlannerError(
+            "product graph is cyclic: add length filters or loop_free "
+            "so the trie construction can bound paths"
+        )
+
+    # Materialize DpvNodes children-first.
+    nodes_by_key: Dict[Tuple[str, int], DpvNode] = {}
+    dev_counters: Dict[str, int] = {}
+    all_nodes: Dict[str, DpvNode] = {}
+    for key in reversed(order):
+        device, state = key
+        children: Dict[str, DpvEdge] = {}
+        for target in adjacency[key]:
+            child = nodes_by_key[target]
+            if child.flow:
+                children[child.dev] = DpvEdge(child, child.flow)
+        accept = (
+            frozenset([(0, 0)]) if dfa.is_accepting(state) else frozenset()
+        )
+        index = dev_counters.get(device, 0) + 1
+        dev_counters[device] = index
+        node = DpvNode(f"{device}#{index}", device, accept, children)
+        nodes_by_key[key] = node
+        if node.flow:
+            all_nodes[node.node_id] = node
+
+    dpv_roots = {
+        ingress: nodes_by_key[key]
+        for ingress, key in roots.items()
+        if nodes_by_key[key].flow
+    }
+    if not dpv_roots:
+        raise PlannerError("no accepting path from any ingress")
+
+    topo_order = tuple(
+        nodes_by_key[key]
+        for key in order
+        if nodes_by_key[key].node_id in all_nodes
+    )
+    parents: Dict[str, List[str]] = {node_id: [] for node_id in all_nodes}
+    for node in topo_order:
+        for edge in node.children.values():
+            parents[edge.child.node_id].append(node.node_id)
+    for node in topo_order:
+        node.parent_ids = tuple(sorted(set(parents[node.node_id])))
+    return DpvNet(
+        roots=dpv_roots,
+        nodes=all_nodes,
+        topo_order=topo_order,
+        num_regexes=1,
+        scenes=(NO_FAULTS,),
+    )

@@ -1,0 +1,61 @@
+"""Graphviz export of DPVNets (debugging / documentation aid).
+
+``dpvnet_to_dot`` renders the DAG with per-node device labels, accepting
+nodes doubled, roots marked, and edges annotated with their (regex,
+scene) labels when the DPVNet is compound or fault-tolerant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.planner.dpvnet import DpvNet
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def dpvnet_to_dot(
+    dpvnet: DpvNet,
+    title: Optional[str] = None,
+    show_labels: Optional[bool] = None,
+) -> str:
+    """Render ``dpvnet`` as a Graphviz DOT digraph string.
+
+    ``show_labels`` defaults to True when the DPVNet has several regexes
+    or scenes (labels then disambiguate the structure).
+    """
+    if show_labels is None:
+        show_labels = dpvnet.num_regexes > 1 or len(dpvnet.scenes) > 1
+    roots = {node.node_id for node in dpvnet.roots.values()}
+    lines = ["digraph dpvnet {", "  rankdir=LR;"]
+    if title:
+        lines.append(f'  label="{_escape(title)}";')
+    for node in dpvnet.topo_order:
+        shape = "doublecircle" if node.accept else "ellipse"
+        style = ' style=filled fillcolor="#e0ecff"' if node.node_id in roots else ""
+        lines.append(
+            f'  "{_escape(node.node_id)}" '
+            f'[label="{_escape(node.node_id)}\\n{_escape(node.dev)}" '
+            f"shape={shape}{style}];"
+        )
+    for node in dpvnet.topo_order:
+        for edge in node.children.values():
+            attributes = ""
+            if show_labels:
+                label = ",".join(
+                    f"r{regex}s{scene}" for regex, scene in sorted(edge.labels)
+                )
+                attributes = f' [label="{_escape(label)}"]'
+            lines.append(
+                f'  "{_escape(node.node_id)}" -> '
+                f'"{_escape(edge.child.node_id)}"{attributes};'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(dpvnet: DpvNet, path: str, title: Optional[str] = None) -> None:
+    with open(path, "w") as handle:
+        handle.write(dpvnet_to_dot(dpvnet, title))

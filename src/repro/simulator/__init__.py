@@ -1,0 +1,13 @@
+"""Event-driven network simulator (paper §9.3's evaluation substrate).
+
+Simulates a network of devices running on-device verifiers connected by
+latency-accurate, in-order (TCP-like) channels.  Per-event processing
+times are *measured* (wall clock of the actual verifier code, scaled by a
+per-device CPU factor standing in for switch-CPU speed), so verification
+times combine real computation with simulated propagation.
+"""
+
+from repro.simulator.engine import EventQueue
+from repro.simulator.network import DeviceProfile, SimulatedNetwork
+
+__all__ = ["EventQueue", "SimulatedNetwork", "DeviceProfile"]

@@ -1,0 +1,362 @@
+"""The simulated network: verifiers + in-order channels + timing.
+
+Timing model:
+
+* every device is a sequential processor: an event is handled no earlier
+  than the device's previous completion (``busy_until``);
+* handler cost = measured wall-clock of the real verifier code, times the
+  device's ``cpu_scale`` (switch CPUs are slower than the build machine;
+  §9.4's four switch models are modeled as four scale factors);
+* a message sent at completion time ``t`` over link ``(a, b)`` arrives at
+  ``max(t + latency, last scheduled arrival on that direction)`` --
+  FIFO per direction, i.e. a TCP connection per §5.2;
+* verification time of a workload = simulation time when the network
+  quiesces, measured from injection (the paper's §9.3.1 metric).
+
+Wire accounting: every message is encoded with the real codec to count
+bytes; ``strict_wire=True`` additionally decodes on receipt (full
+serialization round trip) for protocol-conformance tests.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dvm.messages import Message, decode_message, encode_message
+from repro.dvm.verifier import OnDeviceVerifier, RootVerdict, Violation
+from repro.packetspace.predicate import PredicateFactory
+from repro.planner.tasks import Plan
+from repro.simulator.engine import EventQueue
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Performance profile of a device model (paper §9.4 switch models).
+
+    ``cores`` models the verification agent's thread pool (§8): events of
+    *different* DPVNet node threads run concurrently on the switch's
+    control-plane CPU cores.  Commodity switch CPUs have 2-4 cores; the
+    paper's CPU-load ceiling of 0.48 corresponds to roughly half the
+    cores busy.
+    """
+
+    name: str = "x86"
+    cpu_scale: float = 1.0
+    cores: int = 2
+
+
+#: The four switch models of the §9.4 microbenchmarks.  The x86
+#: control-plane CPUs (4 cores) are roughly comparable; the Centec ARM
+#: CPU measured slowest.
+SWITCH_PROFILES: Tuple[DeviceProfile, ...] = (
+    DeviceProfile("Mellanox", 1.0, cores=4),
+    DeviceProfile("UfiSpace", 1.15, cores=4),
+    DeviceProfile("Edgecore", 1.3, cores=4),
+    DeviceProfile("Centec", 2.2, cores=2),
+)
+
+
+@dataclass
+class MessageStats:
+    """Aggregate DVM traffic statistics."""
+
+    messages: int = 0
+    bytes: int = 0
+    per_message_seconds: List[float] = field(default_factory=list)
+    per_device_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def record_processing(self, device: str, seconds: float) -> None:
+        self.per_message_seconds.append(seconds)
+        self.per_device_seconds[device] = (
+            self.per_device_seconds.get(device, 0.0) + seconds
+        )
+
+
+class SimulatedNetwork:
+    """A topology's worth of on-device verifiers under simulation."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        fibs: Dict[str, "Fib"],
+        factory: PredicateFactory,
+        profile: DeviceProfile = DeviceProfile(),
+        profiles: Optional[Dict[str, DeviceProfile]] = None,
+        strict_wire: bool = False,
+        count_wire_bytes: bool = True,
+        verifier_hosts: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """``verifier_hosts`` enables §7's incremental deployment: map a
+        device to the host that runs its verifier off-device (a VM or a
+        neighboring switch).  The proxy collects the device's data plane
+        and exchanges DVM messages on its behalf; messaging latency
+        between two verifiers becomes the min-latency path between their
+        hosts, and a proxied device's FIB events reach the verifier after
+        the device→host latency.  Unmapped devices verify on-device, so
+        mixed deployments work (RCDC's all-off-device layout being one
+        extreme)."""
+        self.topology = topology
+        self.factory = factory
+        self.fibs = fibs
+        self.queue = EventQueue()
+        self.strict_wire = strict_wire
+        self.count_wire_bytes = count_wire_bytes
+        self.stats = MessageStats()
+        self._profiles = profiles or {}
+        self._default_profile = profile
+        self.verifier_hosts = dict(verifier_hosts or {})
+        for device, host in self.verifier_hosts.items():
+            if not topology.has_device(device) or not topology.has_device(host):
+                raise ValueError(
+                    f"verifier host mapping {device!r} -> {host!r} names an "
+                    "unknown device"
+                )
+        self.verifiers: Dict[str, OnDeviceVerifier] = {
+            device: OnDeviceVerifier(
+                device, factory, fibs[device], topology.neighbors(device)
+            )
+            for device in topology.devices
+        }
+        self._busy_until: Dict[str, List[float]] = {
+            device: [0.0] * max(1, self.profile_of(device).cores)
+            for device in topology.devices
+        }
+        self._channel_clock: Dict[Tuple[str, str], float] = {}
+        self._failed_links: set = set()
+        self._plans: Dict[str, Plan] = {}
+        self._latency_cache: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # proxy placement helpers
+
+    def host_of(self, device: str) -> str:
+        """Where ``device``'s verifier runs (itself unless proxied)."""
+        return self.verifier_hosts.get(device, device)
+
+    def _host_latency(self, source: str, destination: str) -> float:
+        """Min-latency management-path delay between two hosts."""
+        if source == destination:
+            return 0.0
+        cached = self._latency_cache.get(source)
+        if cached is None:
+            cached = self.topology.latency_distances(source)
+            self._latency_cache[source] = cached
+        return cached.get(destination, float("inf"))
+
+    # ------------------------------------------------------------------
+    # profiles
+
+    def profile_of(self, device: str) -> DeviceProfile:
+        return self._profiles.get(device, self._default_profile)
+
+    # ------------------------------------------------------------------
+    # core execution
+
+    def _execute(
+        self, device: str, handler: Callable[[], List[Tuple[str, Message]]]
+    ) -> None:
+        """Run ``handler`` on ``device``, charging measured CPU time.
+
+        The device's thread pool (§8) is modeled as ``cores`` parallel
+        lanes: each event runs on the least-busy core.
+        """
+        host = self.host_of(device)
+        cores = self._busy_until[host]
+        core_index = min(range(len(cores)), key=cores.__getitem__)
+        start_sim = max(self.queue.now, cores[core_index])
+        wall_start = _time.perf_counter()
+        outgoing = handler()
+        elapsed = (_time.perf_counter() - wall_start) * self.profile_of(
+            host
+        ).cpu_scale
+        completion = start_sim + elapsed
+        cores[core_index] = completion
+        self.stats.record_processing(host, elapsed)
+        for destination, message in outgoing:
+            self._transmit(device, destination, message, completion)
+
+    def _transmit(
+        self, source: str, destination: str, message: Message, when: float
+    ) -> None:
+        link_key = (source, destination)
+        proxied = source in self.verifier_hosts or destination in self.verifier_hosts
+        if not proxied:
+            if not self.topology.has_link(source, destination):
+                raise RuntimeError(
+                    f"verifier on {source!r} addressed non-neighbor "
+                    f"{destination!r}"
+                )
+            normalized = tuple(sorted((source, destination)))
+            if normalized in self._failed_links:
+                return  # the physical link is down; TCP will stall -- drop
+            latency = self.topology.link(source, destination).latency
+        else:
+            # Off-device verifiers talk over the management network
+            # between their hosts.
+            latency = self._host_latency(
+                self.host_of(source), self.host_of(destination)
+            )
+            if latency == float("inf"):
+                return  # hosts disconnected
+        self.stats.messages += 1
+        if self.count_wire_bytes:
+            payload = encode_message(message)
+            self.stats.bytes += len(payload)
+            if self.strict_wire:
+                message = decode_message(payload, self.factory)
+        arrival = max(
+            when + latency, self._channel_clock.get(link_key, 0.0)
+        )
+        self._channel_clock[link_key] = arrival
+
+        def deliver(
+            device: str = destination, payload_message: Message = message
+        ) -> None:
+            self._execute(
+                device,
+                lambda: self.verifiers[device].on_message(payload_message),
+            )
+
+        self.queue.schedule(max(arrival, self.queue.now), deliver)
+
+    # ------------------------------------------------------------------
+    # workload operations (each returns the convergence time in seconds)
+
+    def install_plan(self, plan_id: str, plan: Plan) -> float:
+        """Distribute tasks (planner-side, untimed) and run to quiescence."""
+        self._plans[plan_id] = plan
+        start = self.queue.now
+        for device in plan.devices():
+            verifier = self.verifiers[device]
+            self.queue.schedule(
+                self.queue.now,
+                lambda v=verifier: self._execute(
+                    v.device, lambda: v.install_plan(plan_id, plan)
+                ),
+            )
+        return self.run_to_quiescence() - start
+
+    def install_plans(self, plans: Dict[str, Plan]) -> float:
+        """Install many plans as one burst; returns total convergence time."""
+        start = self.queue.now
+        for plan_id, plan in plans.items():
+            self._plans[plan_id] = plan
+            for device in plan.devices():
+                verifier = self.verifiers[device]
+                self.queue.schedule(
+                    self.queue.now,
+                    lambda v=verifier, i=plan_id, p=plan: self._execute(
+                        v.device, lambda: v.install_plan(i, p)
+                    ),
+                )
+        return self.run_to_quiescence() - start
+
+    def burst_fib_event(self, devices: Optional[Sequence[str]] = None) -> float:
+        """All devices (re)read their FIBs at once -- the burst-update
+        scenario of §9.2/§9.3.2."""
+        start = self.queue.now
+        for device in devices or self.topology.devices:
+            verifier = self.verifiers[device]
+            self.queue.schedule(
+                self.queue.now,
+                lambda v=verifier: self._execute(v.device, v.on_fib_changed),
+            )
+        return self.run_to_quiescence() - start
+
+    def fib_update(self, device: str, mutate: Callable[[], None]) -> float:
+        """Apply one rule update at ``device`` and verify incrementally.
+
+        For proxied devices the update must first travel from the device
+        to its verifier's host over the management network.
+        """
+        start = self.queue.now
+        mutate()
+        verifier = self.verifiers[device]
+        delay = self._host_latency(device, self.host_of(device))
+        self.queue.schedule(
+            self.queue.now + delay,
+            lambda: self._execute(device, verifier.on_fib_changed),
+        )
+        return self.run_to_quiescence() - start
+
+    def fail_link(self, a: str, b: str) -> float:
+        """Fail link (a, b); both endpoints flood and the network recounts."""
+        self._failed_links.add(tuple(sorted((a, b))))
+        return self._link_event(a, b, up=False)
+
+    def recover_link(self, a: str, b: str) -> float:
+        self._failed_links.discard(tuple(sorted((a, b))))
+        return self._link_event(a, b, up=True)
+
+    def _link_event(self, a: str, b: str, up: bool) -> float:
+        start = self.queue.now
+        for device in (a, b):
+            verifier = self.verifiers[device]
+            self.queue.schedule(
+                self.queue.now,
+                lambda v=verifier: self._execute(
+                    v.device, lambda: v.on_link_event((a, b), up)
+                ),
+            )
+        return self.run_to_quiescence() - start
+
+    def run_to_quiescence(self) -> float:
+        """Drain all events; returns the simulation time reached.
+
+        The garbage collector is paused while events run: a collection
+        pause landing inside a measured handler would be charged to that
+        device's simulated compute time, adding tens of milliseconds of
+        noise to otherwise-microsecond events.
+        """
+        import gc
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            self.queue.run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        # Processing may outlast the last event's start time.
+        tail = max(
+            (max(cores) for cores in self._busy_until.values()),
+            default=self.queue.now,
+        )
+        if tail > self.queue.now:
+            self.queue.now = tail
+        return self.queue.now
+
+    # ------------------------------------------------------------------
+    # results
+
+    def verdicts(self, plan_id: str) -> List[RootVerdict]:
+        results: List[RootVerdict] = []
+        for verifier in self.verifiers.values():
+            results.extend(verifier.root_verdicts(plan_id))
+        return results
+
+    def holds(self, plan_id: str) -> bool:
+        """True when every root region of the plan verifies.
+
+        For local-mode (equal) plans the verdict is the absence of
+        violations instead of root counts.
+        """
+        plan = self._plans[plan_id]
+        if plan.mode == "local":
+            return not any(
+                violation.plan_id == plan_id
+                for verifier in self.verifiers.values()
+                for violation in verifier.violations
+            )
+        results = self.verdicts(plan_id)
+        return bool(results) and all(verdict.holds for verdict in results)
+
+    def all_violations(self) -> List[Violation]:
+        return [
+            violation
+            for verifier in self.verifiers.values()
+            for violation in verifier.violations
+        ]

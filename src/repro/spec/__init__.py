@@ -1,0 +1,48 @@
+"""The Tulkun invariant specification language (paper §3).
+
+An invariant is a ``(packet_space, ingress_set, behavior[, fault_scenes])``
+tuple.  Behaviors combine ``(match_op, path_exp)`` pairs with and/or/not;
+path expressions are regular expressions over device names with optional
+length filters and the ``loop_free`` shortcut.
+
+Use :func:`parse_invariant` for the textual syntax, the AST classes for
+programmatic construction, and :mod:`repro.spec.library` for the Table 1
+invariant families (reachability, isolation, waypoint, multicast, anycast,
+all-shortest-path availability, ...).
+"""
+
+from repro.spec.ast import (
+    And,
+    Behavior,
+    CountExpr,
+    Equal,
+    Exist,
+    Invariant,
+    LengthFilter,
+    Match,
+    Not,
+    Or,
+    PathExp,
+)
+from repro.spec.automata import Dfa, compile_regex, parse_regex
+from repro.spec.parser import parse_invariant
+from repro.spec import library
+
+__all__ = [
+    "Invariant",
+    "Behavior",
+    "Match",
+    "Not",
+    "And",
+    "Or",
+    "Exist",
+    "Equal",
+    "CountExpr",
+    "PathExp",
+    "LengthFilter",
+    "Dfa",
+    "parse_regex",
+    "compile_regex",
+    "parse_invariant",
+    "library",
+]

@@ -1,0 +1,196 @@
+"""The Table 1 invariant families, as ready-made constructors.
+
+Each function returns an :class:`~repro.spec.ast.Invariant` built
+programmatically (the textual syntax of :mod:`repro.spec.parser` is the
+other entry point).  ``P`` is always a packet-space
+:class:`~repro.packetspace.predicate.Predicate`.
+
+Note on blackhole- and loop-freeness: Tulkun counts copies delivered
+along a DPVNet, so invariants whose *violating* path set has no common
+destination (a blackhole can strand a packet anywhere) are verified in
+their delivery form -- "every copy of P injected at S reaches D along a
+valid path" -- which the counting plus the strict local check (devices
+report forwarding P outside the DPVNet, §4.2's ``equal`` machinery)
+detects exactly.  This matches the paper's evaluation workload
+("loop-free, blackhole-free, (<= shortest+2)-hop reachability").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.packetspace.predicate import Predicate
+from repro.spec.ast import (
+    And,
+    CountExpr,
+    Equal,
+    Exist,
+    Invariant,
+    LengthFilter,
+    Match,
+    Or,
+    PathExp,
+    SHORTEST,
+)
+
+
+def reachability(packets: Predicate, source: str, destination: str) -> Invariant:
+    """At least one copy of every packet reaches the destination."""
+    behavior = Match(
+        Exist(CountExpr(">=", 1)), PathExp(f"{source} .* {destination}")
+    )
+    return Invariant(packets, (source,), behavior, name="reachability")
+
+
+def isolation(packets: Predicate, source: str, destination: str) -> Invariant:
+    """No copy of any packet may reach the destination."""
+    behavior = Match(
+        Exist(CountExpr("==", 0)), PathExp(f"{source} .* {destination}")
+    )
+    return Invariant(packets, (source,), behavior, name="isolation")
+
+
+def waypoint_reachability(
+    packets: Predicate, source: str, waypoint: str, destination: str
+) -> Invariant:
+    """Packets reach the destination via a simple path through the waypoint."""
+    behavior = Match(
+        Exist(CountExpr(">=", 1)),
+        PathExp(f"{source} .* {waypoint} .* {destination}", loop_free=True),
+    )
+    return Invariant(packets, (source,), behavior, name="waypoint")
+
+
+def bounded_reachability(
+    packets: Predicate,
+    source: str,
+    destination: str,
+    max_extra_hops: int = 0,
+    loop_free: bool = True,
+) -> Invariant:
+    """Reachability along paths within ``shortest + max_extra_hops`` hops.
+
+    This is the paper's §9.2/§9.3 WAN/LAN workload shape ("loop-free,
+    blackhole-free, (<= shortest+2)-hop reachability").
+    """
+    behavior = Match(
+        Exist(CountExpr(">=", 1)),
+        PathExp(
+            f"{source} .* {destination}",
+            length_filters=(LengthFilter("<=", SHORTEST, max_extra_hops),),
+            loop_free=loop_free,
+        ),
+    )
+    return Invariant(packets, (source,), behavior, name="bounded-reachability")
+
+
+def limited_length_reachability(
+    packets: Predicate, source: str, destination: str, max_hops: int
+) -> Invariant:
+    """Reachability along paths of at most ``max_hops`` hops (concrete bound)."""
+    behavior = Match(
+        Exist(CountExpr(">=", 1)),
+        PathExp(
+            f"{source} .* {destination}",
+            length_filters=(LengthFilter("<=", max_hops),),
+        ),
+    )
+    return Invariant(packets, (source,), behavior, name="limited-length")
+
+
+def different_ingress_same_reachability(
+    packets: Predicate, ingresses: Sequence[str], destination: str
+) -> Invariant:
+    """Packets entering at any listed ingress all reach the destination."""
+    if len(ingresses) < 2:
+        raise ValueError("needs at least two ingress devices")
+    regex = " | ".join(f"{ingress} .* {destination}" for ingress in ingresses)
+    behavior = Match(Exist(CountExpr(">=", 1)), PathExp(regex))
+    return Invariant(
+        packets, tuple(ingresses), behavior, name="different-ingress"
+    )
+
+
+def all_shortest_path_availability(
+    packets: Predicate, source: str, destination: str
+) -> Invariant:
+    """Azure RCDC's invariant: every shortest path is used and nothing else.
+
+    Verified locally with empty counting information (Prop. 1): each
+    DPVNet node checks its device forwards the packet space to exactly
+    its downstream neighbors.
+    """
+    behavior = Match(
+        Equal(),
+        PathExp(
+            f"{source} .* {destination}",
+            length_filters=(LengthFilter("==", SHORTEST),),
+        ),
+    )
+    return Invariant(packets, (source,), behavior, name="all-shortest-path")
+
+
+def non_redundant_reachability(
+    packets: Predicate, source: str, destination: str
+) -> Invariant:
+    """Exactly one copy is delivered (no redundant delivery)."""
+    behavior = Match(
+        Exist(CountExpr("==", 1)), PathExp(f"{source} .* {destination}")
+    )
+    return Invariant(packets, (source,), behavior, name="non-redundant")
+
+
+def multicast(
+    packets: Predicate, source: str, destinations: Sequence[str]
+) -> Invariant:
+    """At least one copy reaches *every* listed destination."""
+    if len(destinations) < 2:
+        raise ValueError("multicast needs at least two destinations")
+    behavior = Match(
+        Exist(CountExpr(">=", 1)),
+        PathExp(f"{source} .* {destinations[0]}", loop_free=True),
+    )
+    for destination in destinations[1:]:
+        behavior = And(
+            behavior,
+            Match(
+                Exist(CountExpr(">=", 1)),
+                PathExp(f"{source} .* {destination}", loop_free=True),
+            ),
+        )
+    return Invariant(packets, (source,), behavior, name="multicast")
+
+
+def anycast(
+    packets: Predicate, source: str, destination_a: str, destination_b: str
+) -> Invariant:
+    """Each packet reaches exactly one of the two destinations (Fig. 5)."""
+    reach_a = Match(
+        Exist(CountExpr(">=", 1)),
+        PathExp(f"{source} .* {destination_a}", loop_free=True),
+    )
+    none_a = Match(
+        Exist(CountExpr("==", 0)),
+        PathExp(f"{source} .* {destination_a}", loop_free=True),
+    )
+    reach_b = Match(
+        Exist(CountExpr("==", 1)),
+        PathExp(f"{source} .* {destination_b}", loop_free=True),
+    )
+    none_b = Match(
+        Exist(CountExpr("==", 0)),
+        PathExp(f"{source} .* {destination_b}", loop_free=True),
+    )
+    behavior = Or(And(reach_a, none_b), And(none_a, reach_b))
+    return Invariant(packets, (source,), behavior, name="anycast")
+
+
+def loop_free_reachability(
+    packets: Predicate, source: str, destination: str
+) -> Invariant:
+    """Reachability restricted to simple paths (the loop_free shortcut)."""
+    behavior = Match(
+        Exist(CountExpr(">=", 1)),
+        PathExp(f"{source} .* {destination}", loop_free=True),
+    )
+    return Invariant(packets, (source,), behavior, name="loop-free-reach")

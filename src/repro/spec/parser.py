@@ -1,0 +1,453 @@
+"""Text parser for the invariant specification language.
+
+Concrete syntax (cf. paper Figure 2b / Figure 3):
+
+    (dstIP = 10.0.0.0/23, [S], (exist >= 1, S.*W.*D and loop_free))
+
+    (dstIP = 10.0.0.0/24 and dstPort = 80, [S, B],
+        ((exist >= 1, S.*D) or (exist >= 1, B.*D)))
+
+    (dstIP = 10.0.0.0/23, [S], (exist >= 1, S.*D, (<= shortest+1)),
+        any_two)
+
+* packet_space: ``*`` (all packets) or ``and``-joined ``field op value``
+  constraints; fields are dstIP/srcIP (CIDR values, ops ``=``/``!=``) and
+  dstPort/srcPort/proto (integer values, ops ``=``/``!=``).
+* ingress_set: ``[dev, dev, ...]``.
+* behavior: ``(match_op, path_exp[, (length_filters)])`` atoms combined
+  with ``and``/``or``/``not``; match_op is ``exist <cmp> N``, ``equal`` or
+  ``subset``.
+* fault_scenes (optional): ``any_one`` | ``any_two`` | ``any_k(N)`` |
+  ``({(A,B), (C,D)}, {(E,F)})``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.packetspace.predicate import Predicate, PredicateFactory
+from repro.spec.ast import (
+    And,
+    Behavior,
+    CountExpr,
+    Equal,
+    Exist,
+    Invariant,
+    LengthFilter,
+    Match,
+    Not,
+    Or,
+    PathExp,
+    SHORTEST,
+    subset_behavior,
+)
+from repro.topology.graph import FaultScene, Topology
+
+
+class InvariantSyntaxError(ValueError):
+    """Raised for malformed invariant programs."""
+
+
+_PUNCT = "()[]{},|*+?.!^"
+_TWO_CHAR_OPS = (">=", "<=", "==", "!=")
+_ONE_CHAR_OPS = "=<>-"
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CHARS = _IDENT_START | set("0123456789-")
+_NUM_CHARS = set("0123456789./")
+
+
+def _tokenize(source: str) -> List[str]:
+    tokens: List[str] = []
+    index = 0
+    while index < len(source):
+        char = source[index]
+        if char.isspace():
+            index += 1
+            continue
+        two = source[index : index + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(two)
+            index += 2
+        elif char in _PUNCT:
+            tokens.append(char)
+            index += 1
+        elif char in _ONE_CHAR_OPS:
+            tokens.append(char)
+            index += 1
+        elif char.isdigit():
+            start = index
+            while index < len(source) and source[index] in _NUM_CHARS:
+                index += 1
+            tokens.append(source[start:index])
+        elif char in _IDENT_START:
+            start = index
+            while index < len(source) and source[index] in _IDENT_CHARS:
+                index += 1
+            tokens.append(source[start:index])
+        else:
+            raise InvariantSyntaxError(
+                f"unexpected character {char!r} at position {index}"
+            )
+    return tokens
+
+
+_FIELD_MAP = {
+    "dstIP": ("dst_ip", "cidr"),
+    "srcIP": ("src_ip", "cidr"),
+    "dstPort": ("dst_port", "int"),
+    "srcPort": ("src_port", "int"),
+    "proto": ("proto", "int"),
+}
+
+_CMP_OPS = ("==", ">=", ">", "<=", "<")
+
+
+class _InvariantParser:
+    def __init__(self, source: str, factory: PredicateFactory) -> None:
+        self.source = source
+        self.factory = factory
+        self.tokens = _tokenize(source)
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Optional[str]:
+        position = self.position + ahead
+        return self.tokens[position] if position < len(self.tokens) else None
+
+    def advance(self) -> str:
+        if self.position >= len(self.tokens):
+            raise InvariantSyntaxError(
+                f"unexpected end of invariant {self.source!r}"
+            )
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        found = self.advance()
+        if found != token:
+            raise InvariantSyntaxError(
+                f"expected {token!r}, found {found!r} (token "
+                f"{self.position - 1} of {self.source!r})"
+            )
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self, name: str) -> Invariant:
+        self.expect("(")
+        packet_space = self.parse_packet_space()
+        self.expect(",")
+        ingress = self.parse_ingress()
+        self.expect(",")
+        behavior = self.parse_behavior()
+        fault_scenes: Tuple[FaultScene, ...] = ()
+        if self.peek() == ",":
+            self.advance()
+            fault_scenes = self.parse_fault_scenes()
+        self.expect(")")
+        if self.peek() is not None:
+            raise InvariantSyntaxError(
+                f"trailing tokens in invariant {self.source!r}"
+            )
+        return Invariant(packet_space, ingress, behavior, fault_scenes, name)
+
+    def parse_packet_space(self) -> Predicate:
+        if self.peek() == "*":
+            self.advance()
+            return self.factory.all_packets()
+        predicate = self.parse_field_constraint()
+        while self.peek() == "and":
+            self.advance()
+            predicate = predicate & self.parse_field_constraint()
+        return predicate
+
+    def parse_field_constraint(self) -> Predicate:
+        field = self.advance()
+        if field not in _FIELD_MAP:
+            raise InvariantSyntaxError(
+                f"unknown packet-space field {field!r}; known: "
+                f"{sorted(_FIELD_MAP)}"
+            )
+        op = self.advance()
+        if op not in ("=", "!="):
+            raise InvariantSyntaxError(
+                f"packet-space constraints use '=' or '!=', found {op!r}"
+            )
+        value = self.advance()
+        name, kind = _FIELD_MAP[field]
+        if kind == "cidr":
+            cidr = value if "/" in value else f"{value}/32"
+            predicate = self.factory.from_node(
+                self.factory.field_prefix(
+                    name, *_cidr_parts(cidr)
+                ).node
+            )
+        else:
+            try:
+                predicate = self.factory.field_eq(name, int(value))
+            except ValueError as error:
+                raise InvariantSyntaxError(str(error)) from None
+        return ~predicate if op == "!=" else predicate
+
+    def parse_ingress(self) -> Tuple[str, ...]:
+        self.expect("[")
+        devices = [self.advance()]
+        while self.peek() == ",":
+            self.advance()
+            devices.append(self.advance())
+        self.expect("]")
+        return tuple(devices)
+
+    # behaviors: or < and < not < atom/group
+
+    def parse_behavior(self) -> Behavior:
+        left = self.parse_behavior_and()
+        while self.peek() == "or":
+            self.advance()
+            left = Or(left, self.parse_behavior_and())
+        return left
+
+    def parse_behavior_and(self) -> Behavior:
+        left = self.parse_behavior_unary()
+        while self.peek() == "and":
+            self.advance()
+            left = And(left, self.parse_behavior_unary())
+        return left
+
+    def parse_behavior_unary(self) -> Behavior:
+        if self.peek() == "not":
+            self.advance()
+            return Not(self.parse_behavior_unary())
+        if self.peek() != "(":
+            raise InvariantSyntaxError(
+                f"expected a behavior at token {self.position} of "
+                f"{self.source!r}, found {self.peek()!r}"
+            )
+        # "(exist ...", "(equal ...", "(subset ..." open a match atom;
+        # anything else is a parenthesized behavior group.
+        if self.peek(1) in ("exist", "equal", "subset"):
+            return self.parse_match_atom()
+        self.advance()
+        inner = self.parse_behavior()
+        self.expect(")")
+        return inner
+
+    def parse_match_atom(self) -> Behavior:
+        self.expect("(")
+        keyword = self.advance()
+        if keyword == "exist":
+            op = self.advance()
+            if op not in _CMP_OPS:
+                raise InvariantSyntaxError(
+                    f"expected a comparison after 'exist', found {op!r}"
+                )
+            value = self.advance()
+            match_op = Exist(CountExpr(op, int(value)))
+        elif keyword == "equal":
+            match_op = Equal()
+        elif keyword == "subset":
+            match_op = None  # desugared below
+        else:  # pragma: no cover - guarded by caller's peek
+            raise InvariantSyntaxError(f"unknown match operator {keyword!r}")
+        self.expect(",")
+        path = self.parse_path_exp()
+        self.expect(")")
+        if keyword == "subset":
+            return subset_behavior(path)
+        return Match(match_op, path)
+
+    def parse_path_exp(self) -> PathExp:
+        regex_tokens: List[str] = []
+        depth = 0
+        while True:
+            token = self.peek()
+            if token is None:
+                raise InvariantSyntaxError(
+                    f"unterminated path expression in {self.source!r}"
+                )
+            if depth == 0 and token in (")", ","):
+                break
+            if token == "(":
+                depth += 1
+            elif token == ")":
+                depth -= 1
+            regex_tokens.append(self.advance())
+        if not regex_tokens:
+            raise InvariantSyntaxError("empty path expression")
+        filters: Tuple[LengthFilter, ...] = ()
+        if self.peek() == ",":
+            self.advance()
+            filters = self.parse_length_filters()
+        else:
+            regex_tokens, filters = _split_parenthesized_filters(
+                regex_tokens, self.source
+            )
+        return PathExp(regex=" ".join(regex_tokens), length_filters=filters)
+
+    def parse_length_filters(self) -> Tuple[LengthFilter, ...]:
+        self.expect("(")
+        filters = [self.parse_length_filter()]
+        while self.peek() == ",":
+            self.advance()
+            filters.append(self.parse_length_filter())
+        self.expect(")")
+        return tuple(filters)
+
+    def parse_length_filter(self) -> LengthFilter:
+        op = self.advance()
+        if op not in _CMP_OPS:
+            raise InvariantSyntaxError(
+                f"expected a comparison in length filter, found {op!r}"
+            )
+        token = self.advance()
+        if token == SHORTEST:
+            delta = 0
+            if self.peek() in ("+", "-"):
+                sign = -1 if self.advance() == "-" else 1
+                delta = sign * int(self.advance())
+            return LengthFilter(op, SHORTEST, delta)
+        if token.startswith(f"{SHORTEST}-"):
+            # "-" is a legal identifier character (device names use it),
+            # so "shortest-1" lexes as one token.
+            return LengthFilter(op, SHORTEST, -int(token[len(SHORTEST) + 1 :]))
+        try:
+            return LengthFilter(op, int(token))
+        except ValueError:
+            raise InvariantSyntaxError(
+                f"expected a length bound, found {token!r}"
+            ) from None
+
+    # fault scenes
+
+    def parse_fault_scenes(self) -> Tuple[FaultScene, ...]:
+        token = self.peek()
+        if token in ("any_one", "any_two", "any_k"):
+            self.advance()
+            if token == "any_one":
+                return (AnyK(1),)
+            if token == "any_two":
+                return (AnyK(2),)
+            self.expect("(")
+            k = int(self.advance())
+            self.expect(")")
+            return (AnyK(k),)
+        self.expect("(")
+        scenes = [self.parse_scene()]
+        while self.peek() == ",":
+            self.advance()
+            scenes.append(self.parse_scene())
+        self.expect(")")
+        return tuple(scenes)
+
+    def parse_scene(self) -> FaultScene:
+        self.expect("{")
+        links = []
+        while self.peek() != "}":
+            self.expect("(")
+            a = self.advance()
+            self.expect(",")
+            b = self.advance()
+            self.expect(")")
+            links.append((a, b))
+            if self.peek() == ",":
+                self.advance()
+        self.expect("}")
+        return FaultScene(links)
+
+
+class AnyK(FaultScene):
+    """Sugar: all fault scenes of at most ``k`` failed links.
+
+    Stored as a placeholder in the invariant's ``fault_scenes`` and
+    expanded against a concrete topology with :func:`expand_fault_scenes`.
+    """
+
+    def __init__(self, k: int) -> None:
+        super().__init__(())
+        if k < 1:
+            raise ValueError("any_k requires k >= 1")
+        self.k = k
+
+    def __repr__(self) -> str:
+        return f"AnyK({self.k})"
+
+
+def expand_fault_scenes(
+    scenes: Tuple[FaultScene, ...], topology: Topology
+) -> Tuple[FaultScene, ...]:
+    """Expand ``AnyK`` placeholders into concrete scenes for ``topology``.
+
+    Concrete scenes pass through unchanged; the result is deduplicated and
+    never includes the empty (no-failure) scene.
+    """
+    from itertools import combinations
+
+    expanded = []
+    seen = set()
+    for scene in scenes:
+        if isinstance(scene, AnyK):
+            link_pairs = [link.endpoints for link in topology.links]
+            for size in range(1, scene.k + 1):
+                for failed in combinations(link_pairs, size):
+                    concrete = FaultScene(failed)
+                    if concrete.failed not in seen:
+                        seen.add(concrete.failed)
+                        expanded.append(concrete)
+        elif scene.failed and scene.failed not in seen:
+            seen.add(scene.failed)
+            expanded.append(scene)
+    return tuple(expanded)
+
+
+def _split_parenthesized_filters(
+    tokens: List[str], source: str
+) -> Tuple[List[str], Tuple[LengthFilter, ...]]:
+    """Recognize the ``(regex, (filters))`` path-expression form.
+
+    The whole path expression may be wrapped in parentheses with the
+    length filters after an inner comma (paper's ``(S.*D, (== shortest))``
+    notation); plain regex groups pass through untouched.
+    """
+    if len(tokens) < 2 or tokens[0] != "(" or tokens[-1] != ")":
+        return tokens, ()
+    depth = 0
+    comma_index = None
+    for index, token in enumerate(tokens):
+        if token == "(":
+            depth += 1
+        elif token == ")":
+            depth -= 1
+            if depth == 0 and index != len(tokens) - 1:
+                return tokens, ()  # outer parens close early: a regex group
+        elif token == "," and depth == 1:
+            comma_index = index
+            break
+    if comma_index is None:
+        return tokens, ()
+    filter_tokens = tokens[comma_index + 1 : -1]
+    sub = object.__new__(_InvariantParser)
+    sub.source = source
+    sub.factory = None
+    sub.tokens = filter_tokens
+    sub.position = 0
+    filters = sub.parse_length_filters()
+    if sub.peek() is not None:
+        raise InvariantSyntaxError(
+            f"trailing tokens after length filters in {source!r}"
+        )
+    return tokens[1:comma_index], filters
+
+
+def _cidr_parts(cidr: str) -> Tuple[int, int]:
+    import ipaddress
+
+    network = ipaddress.ip_network(cidr, strict=False)
+    return int(network.network_address), network.prefixlen
+
+
+def parse_invariant(
+    source: str, factory: PredicateFactory, name: str = "invariant"
+) -> Invariant:
+    """Parse one invariant program into an :class:`Invariant`."""
+    return _InvariantParser(source, factory).parse(name)

@@ -1,0 +1,159 @@
+"""The 13 evaluation datasets (paper Figure 10), synthesized.
+
+The paper evaluates on four public datasets (Internet2, Stanford, B4-13,
+B4-18) and nine synthesized from public topologies (Topology Zoo /
+Rocketfuel), plus a 48-ary fattree (FT-48) and a real Clos DC (NGDC).
+Offline we cannot ship the originals, so each dataset is regenerated
+deterministically with the same device/link counts and the same *relative*
+rule volumes; AT1-2/AT2-2 reuse the AT1-1/AT2-1 topologies with 3.39x /
+11.97x the rules, matching §9.3.2's crossover experiment.
+
+``load_dataset(name, scale=...)`` returns the topology; rule tables are
+produced by :mod:`repro.dataplane.generators`.  ``scale="paper"`` uses the
+paper's sizes; the default ``scale="bench"`` shrinks only the two DC
+datasets so pure-Python benchmark sweeps finish in seconds (documented in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.topology.generators import (
+    clos,
+    fattree,
+    synthetic_wan,
+    three_tier_clos,
+)
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape and workload parameters of one evaluation dataset."""
+
+    name: str
+    kind: str  # "WAN" | "LAN" | "DC"
+    num_devices: int
+    num_links: int
+    #: Multiplier on the baseline rule volume (AT1-2 = 3.39x AT1-1 etc.).
+    rule_scale: float = 1.0
+    #: Name of the dataset this one shares a topology with (AT1-2 -> AT1-1).
+    same_topology_as: Optional[str] = None
+    seed: int = 0
+
+
+#: Figure 10 datasets.  WAN/LAN device and link counts follow the public
+#: topologies the paper names (Internet2 9 devices; B4 2013 = 13 sites;
+#: Stanford backbone 16; AttMpls 25/57; B4 2018 = 18; BtNorthAmerica 36/76;
+#: NTT 47/216; AT&T NA 65/152(*); OTEGlobe 93/103).
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("INet2", "WAN", 9, 13, seed=102),
+        DatasetSpec("B4-13", "WAN", 13, 19, seed=413),
+        DatasetSpec("STFD", "LAN", 16, 37, seed=216),
+        DatasetSpec("AT1-1", "WAN", 25, 57, seed=425),
+        DatasetSpec("AT1-2", "WAN", 25, 57, rule_scale=3.39, same_topology_as="AT1-1", seed=425),
+        DatasetSpec("B4-18", "WAN", 18, 31, seed=418),
+        DatasetSpec("BTNA", "WAN", 36, 76, seed=436),
+        DatasetSpec("NTT", "WAN", 47, 216, seed=447),
+        DatasetSpec("AT2-1", "WAN", 65, 152, seed=465),
+        DatasetSpec("AT2-2", "WAN", 65, 152, rule_scale=11.97, same_topology_as="AT2-1", seed=465),
+        DatasetSpec("OTEG", "WAN", 93, 103, seed=493),
+        DatasetSpec("FT-48", "DC", 2880, 55296, seed=448),
+        DatasetSpec("NGDC", "DC", 1248, 15872, seed=400),
+    ]
+}
+
+#: WAN/LAN dataset names in the paper's figure order.
+WAN_LAN_ORDER: Tuple[str, ...] = (
+    "INet2",
+    "B4-13",
+    "STFD",
+    "AT1-1",
+    "AT1-2",
+    "B4-18",
+    "BTNA",
+    "NTT",
+    "AT2-1",
+    "AT2-2",
+    "OTEG",
+)
+
+#: All dataset names in the paper's figure order.
+FIGURE_ORDER: Tuple[str, ...] = WAN_LAN_ORDER + ("FT-48", "NGDC")
+
+
+def load_dataset(
+    name: str, scale: str = "bench", prefixes_per_device: int = 1
+) -> Topology:
+    """Build the named dataset's topology.
+
+    ``scale="paper"`` reproduces the Figure 10 sizes.  ``scale="bench"``
+    (default) is identical for WAN/LAN but substitutes FT-8 for FT-48 and a
+    4-pod Clos for NGDC so sweeps stay laptop-fast; ``scale="tiny"``
+    shrinks further for unit tests.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(DATASETS)}"
+        ) from None
+    if scale not in ("paper", "bench", "tiny"):
+        raise ValueError(f"unknown scale {scale!r}")
+
+    if name == "FT-48":
+        arity = {"paper": 48, "bench": 8, "tiny": 4}[scale]
+        topology = fattree(arity)
+        topology.name = f"FT-48[{scale}]" if arity != 48 else "FT-48"
+        return topology
+    if name == "NGDC":
+        if scale == "paper":
+            topology = three_tier_clos(16, 46, 16, 256)
+        elif scale == "bench":
+            topology = three_tier_clos(4, 6, 4, 8)
+        else:
+            topology = three_tier_clos(2, 3, 2, 4)
+        topology.name = f"NGDC[{scale}]" if scale != "paper" else "NGDC"
+        return topology
+
+    # WAN/LAN datasets keep the paper's sizes at every scale (they are
+    # already small).  AT1-2/AT2-2 reuse AT1-1/AT2-1's topology verbatim
+    # (same devices, links, latencies) -- only their rule volume differs.
+    # ``prefixes_per_device`` scales the number of *distinct* destination
+    # prefixes (and hence rules and invariants) -- the real datasets carry
+    # full FIBs, so raising it moves the workload toward paper scale.
+    base_name = spec.same_topology_as or name
+    topology = synthetic_wan(
+        base_name,
+        spec.num_devices,
+        spec.num_links,
+        spec.seed,
+        prefixes_per_device=prefixes_per_device,
+    )
+    topology.name = name
+    if spec.kind == "LAN":
+        for link in topology.links:
+            link.latency = 10e-6
+    return topology
+
+
+def dataset_statistics(scale: str = "bench") -> Tuple[Dict[str, object], ...]:
+    """Figure 10-style rows: name, type, devices, links, rule scale."""
+    rows = []
+    for name in FIGURE_ORDER:
+        spec = DATASETS[name]
+        topology = load_dataset(name, scale)
+        rows.append(
+            {
+                "dataset": name,
+                "type": spec.kind,
+                "devices": topology.num_devices,
+                "links": topology.num_links,
+                "rule_scale": spec.rule_scale,
+            }
+        )
+    return tuple(rows)

@@ -1,0 +1,195 @@
+"""Tests for trace collection and multi-path operators (§7)."""
+
+import pytest
+
+from repro.analysis import (
+    collect_traces,
+    link_disjoint,
+    node_disjoint,
+    route_symmetric,
+)
+from repro.analysis.traces import TraceCollectionError
+from repro.dataplane.actions import ALL, ANY, Deliver, Drop, Forward
+from repro.dataplane.errors import inject_loop
+from repro.dataplane.fib import Fib
+from repro.dataplane.lec import build_lec_table
+from repro.dataplane.routes import RouteConfig, install_routes
+from repro.topology.generators import line, paper_example
+
+
+def tables_of(fibs, factory):
+    return {device: build_lec_table(fib, factory) for device, fib in fibs.items()}
+
+
+@pytest.fixture()
+def example(dst_factory):
+    topology = paper_example()
+    fibs = install_routes(topology, dst_factory, RouteConfig(ecmp="any"))
+    return topology, fibs, tables_of(fibs, dst_factory)
+
+
+class TestCollect:
+    def test_figure2_universes(self, dst_factory, example):
+        """ECMP ANY at A: one universe per choice (§2.1's packet q)."""
+        _, _, tables = example
+        packets = dst_factory.dst_prefix("10.0.0.0/24")
+        trace_sets = collect_traces(tables, packets, "S")
+        assert len(trace_sets) == 1
+        universes = trace_sets[0].universes
+        assert universes == frozenset(
+            {
+                frozenset({("S", "A", "B", "D")}),
+                frozenset({("S", "A", "W", "D")}),
+            }
+        )
+
+    def test_all_type_single_universe_two_traces(self, dst_factory):
+        """ALL-type replication: one universe of two traces (packet p)."""
+        topology = paper_example()
+        fibs = {device: Fib(device) for device in topology.devices}
+        packets = dst_factory.dst_prefix("10.0.0.0/24")
+        fibs["S"].insert(1, packets, Forward(["A"]))
+        fibs["A"].insert(1, packets, Forward(["B", "W"], kind=ALL))
+        fibs["B"].insert(1, packets, Drop())
+        fibs["W"].insert(1, packets, Forward(["D"]))
+        fibs["D"].insert(1, packets, Deliver())
+        trace_sets = collect_traces(tables_of(fibs, dst_factory), packets, "S")
+        [trace_set] = [
+            ts for ts in trace_sets if packets.is_subset_of(ts.predicate)
+            or ts.predicate.is_subset_of(packets)
+        ]
+        assert frozenset({("S", "A", "B"), ("S", "A", "W", "D")}) in (
+            trace_set.universes
+        )
+        assert trace_set.delivered_traces() == frozenset(
+            {("S", "A", "W", "D")}
+        )
+
+    def test_region_splitting(self, dst_factory, example):
+        """Different prefixes get different trace sets."""
+        _, _, tables = example
+        both = dst_factory.dst_prefix("10.0.0.0/24") | dst_factory.dst_prefix(
+            "10.0.2.0/24"
+        )
+        trace_sets = collect_traces(tables, both, "A")
+        regions = {ts.predicate for ts in trace_sets}
+        assert len(regions) >= 2
+
+    def test_loop_detection(self, dst_factory):
+        topology = paper_example()
+        fibs = install_routes(topology, dst_factory, RouteConfig(ecmp="any"))
+        packets = dst_factory.dst_prefix("10.0.0.0/24")
+        inject_loop(fibs, "B", "W", packets, label="10.0.0.0/24")
+        with pytest.raises(TraceCollectionError):
+            collect_traces(tables_of(fibs, dst_factory), packets, "S")
+
+    def test_dropped_packet_trace_ends(self, dst_factory):
+        topology = line(3)
+        fibs = {device: Fib(device) for device in topology.devices}
+        packets = dst_factory.dst_prefix("10.0.0.0/24")
+        fibs["d0"].insert(1, packets, Forward(["d1"]))
+        fibs["d1"].insert(1, packets, Drop())
+        trace_sets = collect_traces(tables_of(fibs, dst_factory), packets, "d0")
+        relevant = [
+            ts
+            for ts in trace_sets
+            if ts.all_traces() and ("d0", "d1") in ts.all_traces()
+        ]
+        assert relevant
+        assert not relevant[0].delivered_traces()
+
+
+class TestOperators:
+    def build_symmetric(self, dst_factory):
+        """d0 <-> d2 along the same line: symmetric by construction."""
+        topology = line(3)
+        topology.attach_prefix("d0", "10.1.0.0/24")
+        topology.attach_prefix("d2", "10.2.0.0/24")
+        fibs = install_routes(topology, dst_factory)
+        tables = tables_of(fibs, dst_factory)
+        forward = collect_traces(tables, dst_factory.dst_prefix("10.2.0.0/24"), "d0")
+        backward = collect_traces(tables, dst_factory.dst_prefix("10.1.0.0/24"), "d2")
+        return tables, forward, backward
+
+    def test_route_symmetry_holds(self, dst_factory):
+        _, forward, backward = self.build_symmetric(dst_factory)
+        assert route_symmetric(forward, backward)
+
+    def test_route_symmetry_broken(self, dst_factory):
+        """Square: forward goes one way round, backward the other."""
+        from repro.topology.graph import Topology
+
+        topology = Topology("square")
+        for a, b in [("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")]:
+            topology.add_link(a, b, 1e-5)
+        factory = dst_factory
+        packets_fwd = factory.dst_prefix("10.1.0.0/24")
+        packets_bwd = factory.dst_prefix("10.2.0.0/24")
+        fibs = {device: Fib(device) for device in topology.devices}
+        # A -> B -> C for forward; C -> D -> A for backward.
+        fibs["A"].insert(1, packets_fwd, Forward(["B"]))
+        fibs["B"].insert(1, packets_fwd, Forward(["C"]))
+        fibs["C"].insert(1, packets_fwd, Deliver())
+        fibs["C"].insert(1, packets_bwd, Forward(["D"]))
+        fibs["D"].insert(1, packets_bwd, Forward(["A"]))
+        fibs["A"].insert(1, packets_bwd, Deliver())
+        tables = tables_of(fibs, factory)
+        forward = collect_traces(tables, packets_fwd, "A")
+        backward = collect_traces(tables, packets_bwd, "C")
+        assert not route_symmetric(forward, backward)
+
+    def test_node_disjointness(self, dst_factory):
+        """1+1 protection: two flows pinned on disjoint diamond branches."""
+        from repro.topology.generators import chained_diamond
+
+        topology = chained_diamond(1)  # j0 - {u0, l0} - j1
+        factory = dst_factory
+        upper = factory.dst_prefix("10.1.0.0/24")
+        lower = factory.dst_prefix("10.2.0.0/24")
+        fibs = {device: Fib(device) for device in topology.devices}
+        fibs["j0"].insert(1, upper, Forward(["u0"]))
+        fibs["j0"].insert(1, lower, Forward(["l0"]))
+        fibs["u0"].insert(1, upper, Forward(["j1"]))
+        fibs["l0"].insert(1, lower, Forward(["j1"]))
+        fibs["j1"].insert(1, upper | lower, Deliver())
+        tables = tables_of(fibs, factory)
+        first = collect_traces(tables, upper, "j0")
+        second = collect_traces(tables, lower, "j0")
+        assert node_disjoint(first, second)
+        assert link_disjoint(first, second)
+
+    def test_shared_branch_not_disjoint(self, dst_factory):
+        from repro.topology.generators import chained_diamond
+
+        topology = chained_diamond(1)
+        factory = dst_factory
+        upper = factory.dst_prefix("10.1.0.0/24")
+        lower = factory.dst_prefix("10.2.0.0/24")
+        fibs = {device: Fib(device) for device in topology.devices}
+        for packets in (upper, lower):
+            fibs["j0"].insert(1, packets, Forward(["u0"]))
+            fibs["u0"].insert(1, packets, Forward(["j1"]))
+        fibs["j1"].insert(1, upper | lower, Deliver())
+        tables = tables_of(fibs, factory)
+        first = collect_traces(tables, upper, "j0")
+        second = collect_traces(tables, lower, "j0")
+        assert not node_disjoint(first, second)
+        assert not link_disjoint(first, second)
+
+
+class TestLimitations:
+    def test_rewrite_actions_rejected(self, factory):
+        """Header rewrites need per-trace packet state; the collector
+        refuses them explicitly rather than miscounting."""
+        from repro.packetspace.transform import Rewrite
+
+        topology = line(3)
+        fibs = {device: Fib(device) for device in topology.devices}
+        packets = factory.dst_port(80)
+        fibs["d0"].insert(
+            1, packets, Forward(["d1"], rewrite=Rewrite({"dst_port": 8080}))
+        )
+        fibs["d1"].insert(1, factory.dst_port(8080), Forward(["d2"]))
+        fibs["d2"].insert(1, factory.dst_port(8080), Deliver())
+        with pytest.raises(TraceCollectionError, match="rewrite"):
+            collect_traces(tables_of(fibs, factory), packets, "d0")

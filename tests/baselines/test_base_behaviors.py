@@ -1,0 +1,84 @@
+"""Shared baseline-scaffolding behaviors."""
+
+import pytest
+
+from repro.baselines import ApKeepVerifier, ApVerifier
+from repro.dataplane.actions import Drop, Forward
+from repro.dataplane.routes import PRIORITY_ERROR, RouteConfig, install_routes
+from repro.planner import plan_invariant
+from repro.spec import library
+from repro.topology.generators import paper_example
+
+
+@pytest.fixture()
+def setting(dst_factory):
+    topology = paper_example()
+    fibs = install_routes(topology, dst_factory, RouteConfig(ecmp="any"))
+    packets = dst_factory.dst_prefix("10.0.0.0/23")
+    plans = [
+        (
+            "reach",
+            plan_invariant(
+                library.bounded_reachability(packets, "S", "D", 2), topology
+            ),
+        )
+    ]
+    return topology, fibs, packets, plans
+
+
+class TestIncrementalLecPath:
+    def test_dirty_region_used(self, dst_factory, setting):
+        """After the snapshot consumed the dirt, a localized update goes
+        through the incremental classification path and still detects."""
+        topology, fibs, packets, plans = setting
+        verifier = ApKeepVerifier(dst_factory)
+        verifier.load_snapshot(fibs)
+        hole = dst_factory.dst_prefix("10.0.0.0/26")
+        fibs["A"].insert(PRIORITY_ERROR, hole, Drop(), label="10.0.0.0/26")
+        result = verifier.apply_update("A", plans)
+        assert result.holds is False
+
+    def test_action_preserving_update_is_clean(self, dst_factory, setting):
+        """Re-inserting the same behavior yields no changes and holds."""
+        topology, fibs, packets, plans = setting
+        verifier = ApKeepVerifier(dst_factory)
+        verifier.load_snapshot(fibs)
+        # S already forwards everything to A; re-pin the same action.
+        fibs["S"].insert(
+            PRIORITY_ERROR, packets, Forward(["A"]), label="10.0.0.0/23"
+        )
+        result = verifier.apply_update("S", plans)
+        assert result.holds is True
+
+    def test_sequential_updates_stay_consistent(self, dst_factory, setting):
+        """Per-universe semantics: one dropping ECMP branch already
+        violates; removing the drop restores the verdict."""
+        topology, fibs, packets, plans = setting
+        verifier = ApKeepVerifier(dst_factory)
+        verifier.load_snapshot(fibs)
+        hole = dst_factory.dst_prefix("10.0.1.0/24")
+        rule_w = fibs["W"].insert(PRIORITY_ERROR, hole, Drop(), label="10.0.1.0/24")
+        # A's ANY group is {B, W}: the universe choosing W now drops.
+        assert verifier.apply_update("W", plans).holds is False
+        rule_b = fibs["B"].insert(PRIORITY_ERROR, hole, Drop(), label="10.0.1.0/24")
+        assert verifier.apply_update("B", plans).holds is False
+        fibs["B"].remove(rule_b.rule_id)
+        assert verifier.apply_update("B", plans).holds is False  # W still drops
+        fibs["W"].remove(rule_w.rule_id)
+        assert verifier.apply_update("W", plans).holds is True
+
+
+class TestVerifyRegions:
+    def test_region_restricted_verify(self, dst_factory, setting):
+        topology, fibs, packets, plans = setting
+        verifier = ApVerifier(dst_factory)
+        verifier.load_snapshot(fibs)
+        outside = dst_factory.dst_prefix("99.0.0.0/8")
+        result = verifier.verify(plans, region=outside)
+        assert result.holds is True  # nothing to check there
+
+    def test_check_plan_with_empty_region(self, dst_factory, setting):
+        topology, fibs, packets, plans = setting
+        verifier = ApVerifier(dst_factory)
+        verifier.load_snapshot(fibs)
+        assert verifier.check_plan(plans[0][1], region=dst_factory.empty())

@@ -1,0 +1,135 @@
+"""Baseline verifiers: all five tools agree with Tulkun on verdicts."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    ApKeepVerifier,
+    ApVerifier,
+    DeltaNetVerifier,
+    FlashVerifier,
+    VeriFlowVerifier,
+)
+from repro.dataplane.actions import Drop, Forward
+from repro.dataplane.errors import inject_blackhole
+from repro.dataplane.routes import PRIORITY_ERROR, RouteConfig, install_routes
+from repro.planner import plan_invariant
+from repro.spec import library
+from repro.topology.generators import paper_example
+
+
+@pytest.fixture()
+def topology():
+    return paper_example()
+
+
+@pytest.fixture()
+def fibs(topology, dst_factory):
+    return install_routes(topology, dst_factory, RouteConfig(ecmp="any"))
+
+
+@pytest.fixture()
+def plans(topology, dst_factory):
+    packets = dst_factory.dst_prefix("10.0.0.0/23")
+    return [
+        ("reach", plan_invariant(
+            library.bounded_reachability(packets, "S", "D", 2), topology
+        )),
+        ("waypoint", plan_invariant(
+            library.waypoint_reachability(packets, "S", "W", "D"), topology
+        )),
+    ]
+
+
+@pytest.mark.parametrize("verifier_cls", ALL_BASELINES, ids=lambda c: c.name)
+class TestAllBaselines:
+    def test_snapshot_verification(self, verifier_cls, dst_factory, fibs, plans):
+        verifier = verifier_cls(dst_factory)
+        load = verifier.load_snapshot(fibs)
+        assert load.compute_seconds >= 0
+        result = verifier.verify(plans)
+        # reach holds, waypoint violated by ECMP -> overall failing
+        assert result.holds is False
+        assert result.failing_plans == ("waypoint",)
+
+    def test_blackhole_detected(self, verifier_cls, dst_factory, topology, plans):
+        fibs = install_routes(topology, dst_factory, RouteConfig(ecmp="any"))
+        inject_blackhole(
+            fibs, "A", dst_factory.dst_prefix("10.0.0.0/23"), label="10.0.0.0/23"
+        )
+        verifier = verifier_cls(dst_factory)
+        verifier.load_snapshot(fibs)
+        result = verifier.verify(plans[:1])
+        assert result.holds is False
+
+    def test_incremental_update_detected(
+        self, verifier_cls, dst_factory, fibs, plans
+    ):
+        verifier = verifier_cls(dst_factory)
+        verifier.load_snapshot(fibs)
+        assert verifier.verify(plans[:1]).holds
+        fibs["A"].insert(
+            PRIORITY_ERROR,
+            dst_factory.dst_prefix("10.0.0.0/23"),
+            Drop(),
+            label="10.0.0.0/23",
+        )
+        result = verifier.apply_update("A", plans[:1])
+        assert result.holds is False
+
+    def test_irrelevant_update_is_cheap(self, verifier_cls, dst_factory, fibs, plans):
+        verifier = verifier_cls(dst_factory)
+        verifier.load_snapshot(fibs)
+        rule = fibs["B"].insert(
+            PRIORITY_ERROR,
+            dst_factory.dst_prefix("99.0.0.0/24"),
+            Drop(),
+            label="99.0.0.0/24",
+        )
+        result = verifier.apply_update("B", plans)
+        assert result.holds is True
+
+
+class TestEquivalenceClasses:
+    def test_ap_classes_partition(self, dst_factory, fibs):
+        verifier = ApVerifier(dst_factory)
+        verifier.load_snapshot(fibs)
+        union = dst_factory.empty()
+        for ec in verifier.classes_overlapping(dst_factory.all_packets()):
+            assert (union & ec).is_empty
+            union = union | ec
+        assert union.is_full
+
+    def test_flash_dedupe_not_slower_class_count(self, dst_factory, fibs):
+        ap = ApVerifier(dst_factory)
+        flash = FlashVerifier(dst_factory)
+        ap.load_snapshot(fibs)
+        flash.load_snapshot(fibs)
+        assert flash.num_classes() == ap.num_classes()
+
+    def test_apkeep_incremental_splits_only(self, dst_factory, fibs, plans):
+        verifier = ApKeepVerifier(dst_factory)
+        verifier.load_snapshot(fibs)
+        before = verifier.num_classes()
+        fibs["A"].insert(
+            PRIORITY_ERROR,
+            dst_factory.dst_prefix("10.0.0.0/26"),
+            Drop(),
+            label="10.0.0.0/26",
+        )
+        verifier.apply_update("A", plans)
+        assert verifier.num_classes() >= before
+
+    def test_deltanet_rejects_non_prefix_rules(self, dst_factory, topology):
+        from repro.dataplane.fib import Fib
+
+        fibs = {device: Fib(device) for device in topology.devices}
+        fibs["S"].insert(1, dst_factory.all_packets(), Drop(), label="")
+        verifier = DeltaNetVerifier(dst_factory)
+        with pytest.raises(ValueError):
+            verifier.load_snapshot(fibs)
+
+    def test_deltanet_atoms_are_intervals(self, dst_factory, fibs):
+        verifier = DeltaNetVerifier(dst_factory)
+        verifier.load_snapshot(fibs)
+        assert verifier.num_classes() >= 3  # 3 prefixes + gaps

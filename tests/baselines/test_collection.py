@@ -1,0 +1,36 @@
+"""Tests for the management-network collection model."""
+
+import pytest
+
+from repro.baselines.collection import CollectionModel
+from repro.topology.generators import line, paper_example
+
+
+class TestCollectionModel:
+    def test_verifier_location_deterministic(self):
+        topology = paper_example()
+        a = CollectionModel(topology, seed=7)
+        b = CollectionModel(topology, seed=7)
+        assert a.verifier_location == b.verifier_location
+
+    def test_explicit_location(self):
+        topology = paper_example()
+        model = CollectionModel(topology, verifier_location="W")
+        assert model.verifier_location == "W"
+        assert model.latency_from("W") == 0.0
+
+    def test_burst_latency_is_worst_case(self):
+        chain = line(4, latency=0.01)
+        model = CollectionModel(chain, verifier_location="d0")
+        assert model.burst_collection_latency() == pytest.approx(0.03)
+
+    def test_update_latency_per_device(self):
+        chain = line(4, latency=0.01)
+        model = CollectionModel(chain, verifier_location="d0")
+        assert model.update_latency("d2") == pytest.approx(0.02)
+
+    def test_unknown_device(self):
+        topology = paper_example()
+        model = CollectionModel(topology, verifier_location="S")
+        with pytest.raises(KeyError):
+            model.latency_from("Z")

@@ -1,0 +1,73 @@
+"""§1's Flash early-detection experiment: with missed device updates,
+the centralized verifier detects zero errors, while Tulkun's on-device
+verifiers see their own data planes by construction."""
+
+import pytest
+
+from repro.baselines import FlashVerifier
+from repro.dataplane.actions import Drop
+from repro.dataplane.routes import PRIORITY_ERROR, RouteConfig, install_routes
+from repro.planner import plan_invariant
+from repro.spec import library
+from repro.topology.generators import paper_example
+
+
+@pytest.fixture()
+def setting(dst_factory):
+    topology = paper_example()
+    fibs = install_routes(topology, dst_factory, RouteConfig(ecmp="any"))
+    packets = dst_factory.dst_prefix("10.0.0.0/23")
+    plans = [
+        (
+            "reach",
+            plan_invariant(
+                library.bounded_reachability(packets, "S", "D", 2), topology
+            ),
+        )
+    ]
+    return topology, fibs, packets, plans
+
+
+def test_frozen_device_misses_error(dst_factory, setting):
+    topology, fibs, packets, plans = setting
+    verifier = FlashVerifier(dst_factory)
+    verifier.load_snapshot(fibs)
+    verifier.freeze_devices(["A"])
+    # Inject a blackhole at the frozen device: the update never arrives.
+    fibs["A"].insert(PRIORITY_ERROR, packets, Drop(), label="10.0.0.0/23")
+    result = verifier.apply_update("A", plans)
+    assert result.holds is True  # error NOT detected
+
+
+def test_unfrozen_device_catches_error(dst_factory, setting):
+    topology, fibs, packets, plans = setting
+    verifier = FlashVerifier(dst_factory)
+    verifier.load_snapshot(fibs)
+    verifier.freeze_devices(["W"])  # freeze an unrelated device
+    fibs["A"].insert(PRIORITY_ERROR, packets, Drop(), label="10.0.0.0/23")
+    result = verifier.apply_update("A", plans)
+    assert result.holds is False  # detected as usual
+
+
+def test_tulkun_immune_to_missing_collection(dst_factory, setting):
+    """Tulkun has no collection step: the on-device verifier reads its
+    own FIB, so the same scenario is detected."""
+    topology, fibs, packets, plans = setting
+    from repro.simulator.network import SimulatedNetwork
+
+    network = SimulatedNetwork(topology, fibs, dst_factory)
+    network.install_plan("p", plans[0][1])
+    assert network.holds("p")
+    network.fib_update(
+        "A",
+        lambda: fibs["A"].insert(
+            PRIORITY_ERROR, packets, Drop(), label="10.0.0.0/23"
+        ),
+    )
+    assert not network.holds("p")
+
+
+def test_freeze_requires_snapshot(dst_factory):
+    verifier = FlashVerifier(dst_factory)
+    with pytest.raises(ValueError):
+        verifier.freeze_devices(["A"])

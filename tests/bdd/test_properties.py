@@ -1,0 +1,130 @@
+"""Property-based tests: the BDD is a faithful boolean algebra.
+
+Random boolean expressions over a small variable set are evaluated both
+through the BDD and through direct truth-table evaluation; they must
+agree on every assignment.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager
+from repro.bdd.serialize import deserialize_bdd, serialize_bdd
+
+NUM_VARS = 4
+
+
+def expressions(depth=3):
+    """Strategy producing (bdd_builder, python_evaluator) expression trees."""
+    leaves = st.sampled_from(
+        [("var", i) for i in range(NUM_VARS)] + [("const", True), ("const", False)]
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("xor"), children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def build_bdd(manager, expr):
+    kind = expr[0]
+    if kind == "var":
+        return manager.var(expr[1])
+    if kind == "const":
+        return TRUE if expr[1] else FALSE
+    if kind == "not":
+        return manager.negate(build_bdd(manager, expr[1]))
+    a = build_bdd(manager, expr[1])
+    b = build_bdd(manager, expr[2])
+    if kind == "and":
+        return manager.apply_and(a, b)
+    if kind == "or":
+        return manager.apply_or(a, b)
+    return manager.apply_xor(a, b)
+
+
+def evaluate(expr, assignment):
+    kind = expr[0]
+    if kind == "var":
+        return assignment[expr[1]]
+    if kind == "const":
+        return expr[1]
+    if kind == "not":
+        return not evaluate(expr[1], assignment)
+    a = evaluate(expr[1], assignment)
+    b = evaluate(expr[2], assignment)
+    if kind == "and":
+        return a and b
+    if kind == "or":
+        return a or b
+    return a != b
+
+
+def bdd_evaluate(manager, node, assignment):
+    while node > TRUE:
+        var = manager.var_of(node)
+        node = manager.high_of(node) if assignment[var] else manager.low_of(node)
+    return node == TRUE
+
+
+@settings(max_examples=200, deadline=None)
+@given(expressions())
+def test_bdd_matches_truth_table(expr):
+    manager = BDDManager(NUM_VARS)
+    node = build_bdd(manager, expr)
+    for bits in itertools.product([False, True], repeat=NUM_VARS):
+        assignment = dict(enumerate(bits))
+        assert bdd_evaluate(manager, node, assignment) == evaluate(
+            expr, assignment
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions())
+def test_sat_count_matches_truth_table(expr):
+    manager = BDDManager(NUM_VARS)
+    node = build_bdd(manager, expr)
+    expected = sum(
+        evaluate(expr, dict(enumerate(bits)))
+        for bits in itertools.product([False, True], repeat=NUM_VARS)
+    )
+    assert manager.sat_count(node) == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions(), expressions())
+def test_canonicity(left, right):
+    """Semantically equal functions are the same node."""
+    manager = BDDManager(NUM_VARS)
+    node_left = build_bdd(manager, left)
+    node_right = build_bdd(manager, right)
+    semantically_equal = all(
+        evaluate(left, dict(enumerate(bits)))
+        == evaluate(right, dict(enumerate(bits)))
+        for bits in itertools.product([False, True], repeat=NUM_VARS)
+    )
+    assert (node_left == node_right) == semantically_equal
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions())
+def test_serialization_round_trip(expr):
+    manager = BDDManager(NUM_VARS)
+    node = build_bdd(manager, expr)
+    payload = serialize_bdd(manager, node)
+    assert deserialize_bdd(manager, payload) == node
+    # Round trip into a *fresh* manager preserves semantics.
+    other = BDDManager(NUM_VARS)
+    copied = deserialize_bdd(other, payload)
+    for bits in itertools.product([False, True], repeat=NUM_VARS):
+        assignment = dict(enumerate(bits))
+        assert bdd_evaluate(other, copied, assignment) == evaluate(
+            expr, assignment
+        )

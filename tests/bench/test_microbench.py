@@ -1,0 +1,68 @@
+"""Tests for the §9.4 microbenchmark helpers."""
+
+import pytest
+
+from repro.bench.microbench import (
+    collect_update_traces,
+    measure_initialization,
+    measure_update_processing,
+)
+from repro.bench.workloads import build_workload
+from repro.dvm.messages import UpdateMessage
+from repro.simulator.network import SWITCH_PROFILES, DeviceProfile
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("INet2", max_destinations=2)
+
+
+class TestInitialization:
+    def test_one_row_per_device_per_model(self, workload):
+        profiles = SWITCH_PROFILES[:2]
+        results = measure_initialization(workload, profiles)
+        assert len(results) == workload.topology.num_devices * 2
+        assert {overhead.model for overhead in results} == {
+            profile.name for profile in profiles
+        }
+
+    def test_scale_factor_slows(self, workload):
+        slow = DeviceProfile("slow", 100.0)
+        fast = DeviceProfile("fast", 1.0)
+        results = measure_initialization(workload, (fast, slow), max_devices=3)
+        fast_total = sum(
+            o.total_seconds for o in results if o.model == "fast"
+        )
+        slow_total = sum(
+            o.total_seconds for o in results if o.model == "slow"
+        )
+        assert slow_total > fast_total
+
+    def test_memory_positive(self, workload):
+        results = measure_initialization(
+            workload, (DeviceProfile(),), max_devices=2
+        )
+        assert all(o.peak_memory_bytes > 0 for o in results)
+
+
+class TestUpdateTraces:
+    def test_traces_collected(self, workload):
+        traces = collect_update_traces(workload)
+        assert set(traces) == set(workload.topology.devices)
+        messages = [m for trace in traces.values() for m in trace]
+        assert messages
+        assert all(isinstance(m, UpdateMessage) for m in messages)
+
+    def test_replay_measures_per_message(self, workload):
+        traces = collect_update_traces(workload)
+        results = measure_update_processing(
+            workload, traces, (DeviceProfile(),), max_devices=3
+        )
+        assert results
+        for overhead in results:
+            assert len(overhead.per_message_seconds) == len(
+                traces[overhead.device]
+            )
+            assert overhead.total_seconds == pytest.approx(
+                sum(overhead.per_message_seconds)
+            )

@@ -1,0 +1,81 @@
+"""Tests for the benchmark runners."""
+
+import pytest
+
+from repro.baselines import ApVerifier
+from repro.baselines.collection import CollectionModel
+from repro.bench.runners import (
+    fraction_below,
+    quantile,
+    run_baseline_burst,
+    run_baseline_incremental,
+    run_tulkun_burst,
+    run_tulkun_fault_scenes,
+    run_tulkun_incremental,
+)
+from repro.bench.workloads import (
+    build_workload,
+    random_fault_scenes,
+    random_rule_updates,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("INet2", max_destinations=3)
+
+
+class TestStatistics:
+    def test_quantile_nearest_rank(self):
+        values = list(range(10))
+        assert quantile(values, 0.0) == 0
+        assert quantile(values, 0.8) == 8
+        assert quantile(values, 1.0) == 9
+
+    def test_quantile_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_fraction_below(self):
+        assert fraction_below([1, 2, 3, 4], 3) == pytest.approx(0.5)
+        assert fraction_below([], 3) == 0.0
+
+
+class TestTulkunRunners:
+    def test_burst(self, workload):
+        timing = run_tulkun_burst(workload)
+        assert timing.burst_seconds > 0
+        assert timing.messages > 0
+        assert timing.network is not None
+
+    def test_incremental_reuses_network(self, workload):
+        burst = run_tulkun_burst(workload)
+        updates = random_rule_updates(workload, 5, seed=9)
+        timing = run_tulkun_incremental(workload, updates, network=burst.network)
+        assert len(timing.incremental_seconds) == 5
+        assert all(seconds >= 0 for seconds in timing.incremental_seconds)
+
+    def test_fault_scenes(self, workload):
+        scenes = random_fault_scenes(workload.topology, count=2, seed=5)
+        times = run_tulkun_fault_scenes(workload, scenes)
+        assert len(times) == 2
+        assert all(seconds >= 0 for seconds in times)
+
+
+class TestBaselineRunners:
+    def test_burst_includes_collection(self, workload):
+        collection = CollectionModel(workload.topology)
+        timing = run_baseline_burst(ApVerifier, workload, collection)
+        assert timing.burst_seconds > collection.burst_collection_latency()
+        assert timing.name == "AP"
+
+    def test_incremental(self, workload):
+        collection = CollectionModel(workload.topology)
+        verifier = ApVerifier(workload.factory)
+        verifier.load_snapshot(workload.fibs)
+        updates = random_rule_updates(workload, 4, seed=10)
+        timing = run_baseline_incremental(workload, updates, verifier, collection)
+        assert len(timing.incremental_seconds) == 4
+        # every update pays at least the management-network latency
+        for update, seconds in zip(updates, timing.incremental_seconds):
+            assert seconds >= collection.update_latency(update.device)

@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+``figure2_*`` fixtures reproduce the paper's running example (Figure 2):
+the 5-device network, its data plane, and the P1..P4 packet spaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.actions import ALL, ANY, Deliver, Drop, Forward
+from repro.dataplane.fib import Fib
+from repro.packetspace.fields import DSTIP_ONLY_LAYOUT
+from repro.packetspace.predicate import PredicateFactory
+from repro.topology.generators import paper_example
+
+
+@pytest.fixture()
+def factory():
+    """Full 5-tuple layout factory."""
+    return PredicateFactory()
+
+
+@pytest.fixture()
+def dst_factory():
+    """Destination-IP-only factory (fast)."""
+    return PredicateFactory(DSTIP_ONLY_LAYOUT)
+
+
+@pytest.fixture()
+def figure2_topology():
+    return paper_example()
+
+
+@pytest.fixture()
+def figure2_spaces(factory):
+    """P1 = 10.0.0.0/23; P2, P3, P4 partition it as in §2.2."""
+    p1 = factory.dst_prefix("10.0.0.0/23")
+    p2 = factory.dst_prefix("10.0.0.0/24")
+    p3 = factory.dst_prefix("10.0.1.0/24") & factory.dst_port(80)
+    p4 = factory.dst_prefix("10.0.1.0/24") - factory.dst_port(80)
+    return {"P1": p1, "P2": p2, "P3": p3, "P4": p4}
+
+
+@pytest.fixture()
+def figure2_fibs(factory, figure2_spaces):
+    """The Figure 2a data plane.
+
+    * S forwards P1 to A.
+    * A forwards P1 to both B and W (ALL) for P2, and to either B or W
+      (ANY) for P3/P4 -- matching the example's universes: packet p (P2)
+      has one universe of two traces, packet q (P3) has two universes.
+    * B forwards P3 and P4 to D, drops P2.
+    * W forwards P1 to D.
+    * D delivers P1.
+    """
+    spaces = figure2_spaces
+    fibs = {device: Fib(device) for device in "SABWD"}
+    fibs["S"].insert(100, spaces["P1"], Forward(["A"]), label="P1")
+    fibs["A"].insert(200, spaces["P2"], Forward(["B", "W"], kind=ALL), label="P2")
+    fibs["A"].insert(
+        100, spaces["P1"], Forward(["B", "W"], kind=ANY), label="P3P4"
+    )
+    fibs["B"].insert(200, spaces["P2"], Drop(), label="P2")
+    fibs["B"].insert(100, spaces["P1"], Forward(["D"]), label="P3P4")
+    fibs["W"].insert(100, spaces["P1"], Forward(["D"]), label="P1")
+    fibs["D"].insert(100, spaces["P1"], Deliver(), label="P1")
+    return fibs

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_requires_invariant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--dataset", "INet2"])
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "HOLDS" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "INet2" in out and "NGDC" in out
+
+    def test_verify_dataset_holds(self, capsys):
+        code = main(
+            [
+                "verify",
+                "--dataset",
+                "INet2",
+                "--invariant",
+                "(dstIP = 10.0.0.0/24, [INet2-r1], "
+                "(exist >= 1, INet2-r1 .* INet2-r0 and loop_free))",
+            ]
+        )
+        assert code == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_verify_dataset_violated_exit_code(self, capsys):
+        # an isolation invariant that routed traffic violates
+        code = main(
+            [
+                "verify",
+                "--dataset",
+                "INet2",
+                "--invariant",
+                "(dstIP = 10.0.0.0/24, [INet2-r1], "
+                "(exist == 0, INet2-r1 .* INet2-r0 and loop_free))",
+            ]
+        )
+        assert code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_verify_json_documents(self, tmp_path, capsys):
+        topo = {
+            "name": "t",
+            "links": [["S", "A", 0.001], ["A", "D", 0.001]],
+            "prefixes": {"D": ["10.0.0.0/24"]},
+        }
+        rules = [
+            {"device": "S", "priority": 1, "match": {"dstIP": "10.0.0.0/24"},
+             "action": {"type": "forward", "next_hops": ["A"]}},
+            {"device": "A", "priority": 1, "match": {"dstIP": "10.0.0.0/24"},
+             "action": {"type": "forward", "next_hops": ["D"]}},
+            {"device": "D", "priority": 1, "match": {"dstIP": "10.0.0.0/24"},
+             "action": {"type": "deliver"}},
+        ]
+        topo_path = tmp_path / "t.json"
+        fib_path = tmp_path / "f.json"
+        topo_path.write_text(json.dumps(topo))
+        fib_path.write_text(json.dumps(rules))
+        code = main(
+            [
+                "verify",
+                "--topology",
+                str(topo_path),
+                "--fibs",
+                str(fib_path),
+                "--invariant",
+                "(dstIP = 10.0.0.0/24, [S], (exist >= 1, S.*D))",
+            ]
+        )
+        assert code == 0
+
+    def test_verify_topology_without_fibs(self, tmp_path, capsys):
+        topo_path = tmp_path / "t.json"
+        topo_path.write_text(json.dumps({"links": [["S", "A"]]}))
+        code = main(
+            ["verify", "--topology", str(topo_path), "--invariant", "x"]
+        )
+        assert code == 2
+
+    def test_verify_both_sources_rejected(self, tmp_path):
+        code = main(
+            [
+                "verify",
+                "--dataset",
+                "INet2",
+                "--topology",
+                "whatever.json",
+                "--invariant",
+                "x",
+            ]
+        )
+        assert code == 2
+
+    def test_verify_neither_source_rejected(self):
+        assert main(["verify", "--invariant", "x"]) == 2

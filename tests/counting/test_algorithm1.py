@@ -1,0 +1,152 @@
+"""Algorithm 1 against the paper's worked example (§2.2, Figure 2c)."""
+
+import pytest
+
+from repro.counting import count_dpvnet
+from repro.counting.counts import CountSet
+from repro.dataplane.actions import ALL, ANY, Deliver, Drop, Forward
+from repro.planner.dpvnet import build_dpvnet
+from repro.spec.ast import PathExp
+from repro.topology.generators import chained_diamond, paper_example
+
+
+@pytest.fixture()
+def waypoint_net():
+    return build_dpvnet(
+        paper_example(), [PathExp("S .* W .* D", loop_free=True)], ["S"]
+    )
+
+
+def root_count(net, actions):
+    counts = count_dpvnet(net, actions.get)
+    return counts[net.roots["S"].node_id]
+
+
+class TestFigure2Counting:
+    """The P2/P3/P4 counts of §2.2.2, packet space by packet space."""
+
+    def test_p2_all_type(self, waypoint_net):
+        # A replicates to B and W; B drops P2; W delivers via D.
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["B", "W"], kind=ALL),
+            "B": Drop(),
+            "W": Forward(["D"]),
+            "D": Deliver(),
+        }
+        assert root_count(waypoint_net, actions) == CountSet.scalar(1)
+
+    def test_p3_any_type(self, waypoint_net):
+        # A picks either B or W; B forwards to D (not W), so the B branch
+        # yields 0 along this DPVNet and the W branch yields 1.
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["B", "W"], kind=ANY),
+            "B": Forward(["D"]),
+            "W": Forward(["D"]),
+            "D": Deliver(),
+        }
+        assert root_count(waypoint_net, actions) == CountSet.scalar(0, 1)
+
+    def test_update_scenario(self, waypoint_net):
+        # §2.2.3: B re-routes to W instead of D; now both ANY branches
+        # deliver exactly one copy.
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["B", "W"], kind=ANY),
+            "B": Forward(["W"]),
+            "W": Forward(["D"]),
+            "D": Deliver(),
+        }
+        assert root_count(waypoint_net, actions) == CountSet.scalar(1)
+
+    def test_all_update_scenario(self, waypoint_net):
+        # ALL-type with B -> W: two copies race along S-A-B-W-D and
+        # S-A-W-D... the W1/W2 nodes keep them on distinct DPVNet paths.
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["B", "W"], kind=ALL),
+            "B": Forward(["W"]),
+            "W": Forward(["D"]),
+            "D": Deliver(),
+        }
+        assert root_count(waypoint_net, actions) == CountSet.scalar(2)
+
+    def test_drop_at_source(self, waypoint_net):
+        actions = {"S": Drop()}
+        assert root_count(waypoint_net, actions) == CountSet.scalar(0)
+
+    def test_missing_action_counts_zero(self, waypoint_net):
+        counts = count_dpvnet(waypoint_net, {}.get)
+        assert counts[waypoint_net.roots["S"].node_id] == CountSet.scalar(0)
+
+    def test_destination_must_deliver(self, waypoint_net):
+        # A blackhole at the destination itself is caught: D forwards
+        # onward instead of delivering -> zero copies.
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["W"]),
+            "W": Forward(["D"]),
+            "D": Forward(["B"]),
+        }
+        assert root_count(waypoint_net, actions) == CountSet.scalar(0)
+
+    def test_forward_outside_dpvnet(self, waypoint_net):
+        # S sending anywhere but A leaves the DPVNet: ANY adds a zero
+        # universe.
+        actions = {
+            "S": Forward(["A", "X"], kind=ANY),
+            "A": Forward(["W"]),
+            "W": Forward(["D"]),
+            "D": Deliver(),
+        }
+        assert root_count(waypoint_net, actions) == CountSet.scalar(0, 1)
+
+
+class TestDiamondUniverses:
+    def test_any_universe_growth(self):
+        """k chained diamonds with ANY forwarding: counts stay {0, 1}."""
+        topology = chained_diamond(3)
+        net = build_dpvnet(topology, [PathExp("j0 .* j3", loop_free=True)], ["j0"])
+        actions = {}
+        for index in range(3):
+            actions[f"j{index}"] = Forward(
+                [f"u{index}", f"l{index}"], kind=ANY
+            )
+            actions[f"u{index}"] = Forward([f"j{index + 1}"])
+            actions[f"l{index}"] = Forward([f"j{index + 1}"])
+        actions["j3"] = Deliver()
+        counts = count_dpvnet(net, actions.get)
+        assert counts[net.roots["j0"].node_id] == CountSet.scalar(1)
+
+    def test_all_multiplies_copies(self):
+        """ALL forwarding through k diamonds delivers 2^k copies."""
+        topology = chained_diamond(3)
+        net = build_dpvnet(topology, [PathExp("j0 .* j3", loop_free=True)], ["j0"])
+        actions = {}
+        for index in range(3):
+            actions[f"j{index}"] = Forward(
+                [f"u{index}", f"l{index}"], kind=ALL
+            )
+            actions[f"u{index}"] = Forward([f"j{index + 1}"])
+            actions[f"l{index}"] = Forward([f"j{index + 1}"])
+        actions["j3"] = Deliver()
+        counts = count_dpvnet(net, actions.get)
+        assert counts[net.roots["j0"].node_id] == CountSet.scalar(8)
+
+    def test_mixed_any_all(self):
+        topology = chained_diamond(2)
+        net = build_dpvnet(topology, [PathExp("j0 .* j2", loop_free=True)], ["j0"])
+        actions = {
+            "j0": Forward(["u0", "l0"], kind=ALL),
+            "u0": Forward(["j1"]),
+            "l0": Forward(["j1"]),
+            "j1": Forward(["u1", "l1"], kind=ANY),
+            "u1": Forward(["j2"]),
+            "l1": Forward(["j2"]),
+            "j2": Deliver(),
+        }
+        counts = count_dpvnet(net, actions.get)
+        # two copies arrive at j1; each independently picks a branch and
+        # is delivered -> always exactly 2.
+        assert counts[net.roots["j0"].node_id] == CountSet.scalar(2)

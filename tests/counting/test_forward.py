@@ -1,0 +1,76 @@
+"""Tests for forward propagation (the §7 ablation reference)."""
+
+import pytest
+
+from repro.counting import count_dpvnet
+from repro.counting.forward import ForwardCountingUnsupported, forward_count_dpvnet
+from repro.dataplane.actions import ALL, ANY, Deliver, Drop, Forward
+from repro.planner.dpvnet import build_dpvnet
+from repro.spec.ast import PathExp
+from repro.topology.generators import chained_diamond, line, paper_example
+
+
+def test_agrees_with_backward_on_deterministic_plane():
+    topology = paper_example()
+    net = build_dpvnet(topology, [PathExp("S .* D", loop_free=True)], ["S"])
+    actions = {
+        "S": Forward(["A"]),
+        "A": Forward(["W"]),
+        "W": Forward(["D"]),
+        "B": Drop(),
+        "D": Deliver(),
+    }
+    forward = forward_count_dpvnet(net, actions.get, "S")
+    backward = count_dpvnet(net, actions.get)[net.roots["S"].node_id]
+    assert forward == backward
+
+
+def test_agrees_on_multicast_plane():
+    topology = chained_diamond(2)
+    net = build_dpvnet(topology, [PathExp("j0 .* j2", loop_free=True)], ["j0"])
+    actions = {
+        "j0": Forward(["u0", "l0"], kind=ALL),
+        "u0": Forward(["j1"]),
+        "l0": Forward(["j1"]),
+        "j1": Forward(["u1", "l1"], kind=ALL),
+        "u1": Forward(["j2"]),
+        "l1": Forward(["j2"]),
+        "j2": Deliver(),
+    }
+    forward = forward_count_dpvnet(net, actions.get, "j0")
+    backward = count_dpvnet(net, actions.get)[net.roots["j0"].node_id]
+    assert forward == backward == __import__(
+        "repro.counting.counts", fromlist=["CountSet"]
+    ).CountSet.scalar(4)
+
+
+def test_any_actions_rejected():
+    topology = paper_example()
+    net = build_dpvnet(topology, [PathExp("S .* D", loop_free=True)], ["S"])
+    actions = {
+        "S": Forward(["A"]),
+        "A": Forward(["B", "W"], kind=ANY),
+        "B": Forward(["D"]),
+        "W": Forward(["D"]),
+        "D": Deliver(),
+    }
+    with pytest.raises(ForwardCountingUnsupported):
+        forward_count_dpvnet(net, actions.get, "S")
+
+
+def test_blackhole_counts_zero():
+    topology = line(3)
+    net = build_dpvnet(topology, [PathExp("d0 .* d2")], ["d0"])
+    actions = {"d0": Forward(["d1"]), "d1": Drop(), "d2": Deliver()}
+    assert forward_count_dpvnet(net, actions.get, "d0").scalars() == (0,)
+
+
+def test_multi_regex_rejected():
+    topology = paper_example()
+    net = build_dpvnet(
+        topology,
+        [PathExp("S .* D", loop_free=True), PathExp("S .* B", loop_free=True)],
+        ["S"],
+    )
+    with pytest.raises(ValueError):
+        forward_count_dpvnet(net, lambda d: None, "S")

@@ -1,0 +1,75 @@
+"""Property-based tests of the multi-dimensional counting algebra
+(compound invariants count tuples, one component per path expression)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counting.counts import CountSet
+
+DIM = 3
+
+tuples3 = st.tuples(*[st.integers(0, 6)] * DIM)
+count_sets3 = st.builds(
+    lambda elements: CountSet(DIM, elements),
+    st.lists(tuples3, min_size=1, max_size=5),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(count_sets3, count_sets3)
+def test_cross_sum_componentwise(a, b):
+    result = a.cross_sum(b)
+    expected = {
+        tuple(x + y for x, y in zip(ta, tb))
+        for ta in a.tuples
+        for tb in b.tuples
+    }
+    assert result.tuples == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(count_sets3, count_sets3, count_sets3)
+def test_cross_sum_associative_and_commutative(a, b, c):
+    assert a.cross_sum(b) == b.cross_sum(a)
+    assert a.cross_sum(b).cross_sum(c) == a.cross_sum(b.cross_sum(c))
+
+
+@settings(max_examples=150, deadline=None)
+@given(count_sets3)
+def test_zero_is_identity(a):
+    assert a.cross_sum(CountSet.zero(DIM)) == a
+
+
+@settings(max_examples=150, deadline=None)
+@given(count_sets3, count_sets3)
+def test_union_properties(a, b):
+    union = a.union(b)
+    assert a.tuples <= union.tuples
+    assert b.tuples <= union.tuples
+    assert union.tuples == a.tuples | b.tuples
+
+
+@settings(max_examples=150, deadline=None)
+@given(count_sets3, count_sets3, count_sets3)
+def test_cross_sum_distributes_over_union(a, b, c):
+    """(a ⊕ b) ⊗ c == (a ⊗ c) ⊕ (b ⊗ c): the identity that makes
+    per-node refinement order irrelevant."""
+    left = a.union(b).cross_sum(c)
+    right = a.cross_sum(c).union(b.cross_sum(c))
+    assert left == right
+
+
+@settings(max_examples=150, deadline=None)
+@given(count_sets3)
+def test_delivered_unit_vectors(a):
+    for component in range(DIM):
+        unit = CountSet.delivered(DIM, [component])
+        summed = a.cross_sum(unit)
+        expected = {
+            tuple(
+                value + (1 if index == component else 0)
+                for index, value in enumerate(element)
+            )
+            for element in a.tuples
+        }
+        assert summed.tuples == expected

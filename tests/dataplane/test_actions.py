@@ -1,0 +1,59 @@
+"""Unit tests for forwarding actions."""
+
+import pytest
+
+from repro.dataplane.actions import ALL, ANY, Deliver, Drop, Forward
+from repro.packetspace.transform import Rewrite
+
+
+class TestDropDeliver:
+    def test_drop_properties(self):
+        drop = Drop()
+        assert drop.is_drop
+        assert not drop.is_deliver
+        assert drop.next_hops == ()
+
+    def test_deliver_properties(self):
+        deliver = Deliver()
+        assert deliver.is_deliver
+        assert not deliver.is_drop
+
+    def test_equality(self):
+        assert Drop() == Drop()
+        assert Deliver() == Deliver()
+        assert Drop() != Deliver()
+        assert hash(Drop()) == hash(Drop())
+
+
+class TestForward:
+    def test_next_hops_sorted_deduped(self):
+        action = Forward(["C", "A", "C", "B"])
+        assert action.next_hops == ("A", "B", "C")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            Forward([])
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Forward(["A"], kind="SOME")
+
+    def test_singleton_canonicalized_to_all(self):
+        assert Forward(["A"], kind=ANY) == Forward(["A"], kind=ALL)
+
+    def test_kind_distinguishes_groups(self):
+        assert Forward(["A", "B"], kind=ANY) != Forward(["A", "B"], kind=ALL)
+
+    def test_rewrite_distinguishes(self):
+        plain = Forward(["A"])
+        nat = Forward(["A"], rewrite=Rewrite({"dst_port": 80}))
+        assert plain != nat
+        assert nat == Forward(["A"], rewrite=Rewrite({"dst_port": 80}))
+
+    def test_hashable_in_dict(self):
+        table = {Forward(["A", "B"], kind=ANY): 1}
+        assert table[Forward(["B", "A"], kind=ANY)] == 1
+
+    def test_not_drop(self):
+        assert not Forward(["A"]).is_drop
+        assert not Forward(["A"]).is_deliver

@@ -1,0 +1,45 @@
+"""Unit tests for error injection."""
+
+from repro.dataplane.actions import Drop, Forward
+from repro.dataplane.errors import (
+    inject_blackhole,
+    inject_loop,
+    inject_waypoint_bypass,
+)
+from repro.dataplane.routes import install_routes
+from repro.topology.generators import paper_example
+
+
+def test_blackhole_overrides_forwarding(dst_factory):
+    topology = paper_example()
+    fibs = install_routes(topology, dst_factory)
+    packets = dst_factory.dst_prefix("10.0.0.0/24")
+    inject_blackhole(fibs, "A", packets)
+    assert fibs["A"].lookup(packets) == Drop()
+
+
+def test_loop_bounces_between_pair(dst_factory):
+    topology = paper_example()
+    fibs = install_routes(topology, dst_factory)
+    packets = dst_factory.dst_prefix("10.0.0.0/24")
+    inject_loop(fibs, "B", "W", packets)
+    assert fibs["B"].lookup(packets) == Forward(["W"])
+    assert fibs["W"].lookup(packets) == Forward(["B"])
+
+
+def test_bypass_redirects(dst_factory):
+    topology = paper_example()
+    fibs = install_routes(topology, dst_factory)
+    packets = dst_factory.dst_prefix("10.0.0.0/24")
+    inject_waypoint_bypass(fibs, "A", "B", packets)
+    assert fibs["A"].lookup(packets) == Forward(["B"])
+
+
+def test_injection_is_scoped(dst_factory):
+    topology = paper_example()
+    fibs = install_routes(topology, dst_factory)
+    hole = dst_factory.dst_prefix("10.0.0.0/25")
+    rest = dst_factory.dst_prefix("10.0.0.128/25")
+    inject_blackhole(fibs, "A", hole)
+    assert fibs["A"].lookup(hole) == Drop()
+    assert fibs["A"].lookup(rest) != Drop()

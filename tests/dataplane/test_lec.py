@@ -1,0 +1,97 @@
+"""Unit tests for the LEC (local equivalence class) builder."""
+
+import pytest
+
+from repro.dataplane.actions import Deliver, Drop, Forward
+from repro.dataplane.fib import Fib
+from repro.dataplane.lec import build_lec_table, diff_lec_tables
+
+
+class TestBuild:
+    def test_empty_fib_is_all_drop(self, factory):
+        table = build_lec_table(Fib("X"), factory)
+        assert len(table) == 1
+        entry = table.entries[0]
+        assert entry.action == Drop()
+        assert entry.predicate.is_full
+
+    def test_priority_shadowing(self, factory):
+        fib = Fib("X")
+        fib.insert(200, factory.dst_prefix("10.0.0.0/24"), Forward(["A"]))
+        fib.insert(100, factory.dst_prefix("10.0.0.0/24"), Forward(["B"]))
+        table = build_lec_table(fib, factory)
+        assert table.action_for(factory.dst_prefix("10.0.0.0/24")) == Forward(["A"])
+
+    def test_partition_is_disjoint_and_exhaustive(self, factory):
+        fib = Fib("X")
+        fib.insert(200, factory.dst_prefix("10.0.0.0/16"), Forward(["A"]))
+        fib.insert(100, factory.dst_prefix("10.0.0.0/8"), Forward(["B"]))
+        table = build_lec_table(fib, factory)
+        union = factory.empty()
+        for entry in table:
+            assert (union & entry.predicate).is_empty
+            union = union | entry.predicate
+        assert union.is_full
+
+    def test_same_action_rules_merge(self, factory):
+        fib = Fib("X")
+        fib.insert(100, factory.dst_prefix("10.0.0.0/24"), Forward(["A"]))
+        fib.insert(100, factory.dst_prefix("10.0.1.0/24"), Forward(["A"]))
+        table = build_lec_table(fib, factory)
+        # one class for the two prefixes, one default drop
+        assert len(table) == 2
+
+    def test_minimality_figure2(self, factory, figure2_fibs):
+        # B has 3 classes: fwd D (P3+P4), drop (P2 + unmatched), total 2
+        # distinct actions -> minimal table has exactly 2 entries.
+        table = build_lec_table(figure2_fibs["B"], factory)
+        actions = {entry.action for entry in table}
+        assert actions == {Forward(["D"]), Drop()}
+        assert len(table) == 2
+
+    def test_action_for_straddling_is_none(self, factory, figure2_fibs):
+        table = build_lec_table(figure2_fibs["B"], factory)
+        straddle = factory.dst_prefix("10.0.0.0/23")  # P2 + P3P4
+        assert table.action_for(straddle) is None
+
+    def test_classes_overlapping_partitions(self, factory, figure2_fibs, figure2_spaces):
+        table = build_lec_table(figure2_fibs["B"], factory)
+        parts = table.classes_overlapping(figure2_spaces["P1"])
+        union = factory.empty()
+        for predicate, action in parts:
+            union = union | predicate
+        assert union == figure2_spaces["P1"]
+
+
+class TestDiff:
+    def test_no_change_is_empty_diff(self, factory, figure2_fibs):
+        table = build_lec_table(figure2_fibs["W"], factory)
+        assert diff_lec_tables(table, table) == []
+
+    def test_detects_changed_region(self, factory, figure2_spaces, figure2_fibs):
+        fib = figure2_fibs["B"]
+        before = build_lec_table(fib, factory)
+        # B starts forwarding P2 to W instead of dropping (the §2.2.3
+        # scenario, inverted).
+        fib.insert(300, figure2_spaces["P2"], Forward(["W"]))
+        after = build_lec_table(fib, factory)
+        changes = diff_lec_tables(before, after)
+        assert len(changes) == 1
+        predicate, old, new = changes[0]
+        assert predicate == figure2_spaces["P2"]
+        assert old == Drop()
+        assert new == Forward(["W"])
+
+    def test_changed_regions_are_disjoint(self, factory):
+        fib = Fib("X")
+        fib.insert(100, factory.dst_prefix("10.0.0.0/8"), Forward(["A"]))
+        before = build_lec_table(fib, factory)
+        fib.insert(200, factory.dst_prefix("10.0.0.0/9"), Forward(["B"]))
+        fib.insert(200, factory.dst_prefix("10.128.0.0/9"), Drop())
+        after = build_lec_table(fib, factory)
+        changes = diff_lec_tables(before, after)
+        union = factory.empty()
+        for predicate, _, _ in changes:
+            assert (union & predicate).is_empty
+            union = union | predicate
+        assert union == factory.dst_prefix("10.0.0.0/8")

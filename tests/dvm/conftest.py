@@ -1,0 +1,71 @@
+"""Fixtures for DVM tests: an in-process message pump over verifiers."""
+
+from collections import deque
+
+import pytest
+
+from repro.dvm.verifier import OnDeviceVerifier
+
+
+class VerifierCluster:
+    """Synchronous message pump over one verifier per device."""
+
+    def __init__(self, topology, factory, fibs):
+        self.topology = topology
+        self.factory = factory
+        self.fibs = fibs
+        self.verifiers = {
+            device: OnDeviceVerifier(
+                device, factory, fibs[device], topology.neighbors(device)
+            )
+            for device in topology.devices
+        }
+        self.queue = deque()
+        self.delivered = 0
+
+    def install(self, plan_id, plan):
+        for verifier in self.verifiers.values():
+            self.queue.extend(verifier.install_plan(plan_id, plan))
+        return self.pump()
+
+    def pump(self):
+        delivered = 0
+        while self.queue:
+            destination, message = self.queue.popleft()
+            delivered += 1
+            self.queue.extend(self.verifiers[destination].on_message(message))
+        self.delivered += delivered
+        return delivered
+
+    def fib_changed(self, device):
+        self.queue.extend(self.verifiers[device].on_fib_changed())
+        return self.pump()
+
+    def link_event(self, a, b, up):
+        for device in (a, b):
+            self.queue.extend(self.verifiers[device].on_link_event((a, b), up))
+        return self.pump()
+
+    def verdicts(self, plan_id):
+        return [
+            verdict
+            for verifier in self.verifiers.values()
+            for verdict in verifier.root_verdicts(plan_id)
+        ]
+
+    def holds(self, plan_id):
+        verdicts = self.verdicts(plan_id)
+        return bool(verdicts) and all(verdict.holds for verdict in verdicts)
+
+    def violations(self, plan_id):
+        return [
+            violation
+            for verifier in self.verifiers.values()
+            for violation in verifier.violations
+            if violation.plan_id == plan_id
+        ]
+
+
+@pytest.fixture()
+def cluster_factory():
+    return VerifierCluster

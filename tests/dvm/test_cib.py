@@ -1,0 +1,139 @@
+"""Unit tests for the counting information bases."""
+
+import pytest
+
+from repro.counting.counts import CountSet
+from repro.dvm.cib import CibIn, CibOut, LocCib, LocEntry
+
+
+class TestCibIn:
+    def test_lookup_defaults_unknown(self, factory):
+        cib = CibIn()
+        region = factory.dst_prefix("10.0.0.0/24")
+        parts = cib.lookup(region, CountSet.zero())
+        assert len(parts) == 1
+        assert parts[0][0] == region
+        assert parts[0][1] == CountSet.zero()
+
+    def test_insert_then_lookup(self, factory):
+        cib = CibIn()
+        cib.insert(factory.dst_prefix("10.0.0.0/24"), CountSet.scalar(1))
+        parts = cib.lookup(factory.dst_prefix("10.0.0.0/23"), CountSet.zero())
+        counts = {part[1] for part in parts}
+        assert counts == {CountSet.scalar(1), CountSet.zero()}
+
+    def test_insert_replaces_overlap(self, factory):
+        cib = CibIn()
+        cib.insert(factory.dst_prefix("10.0.0.0/23"), CountSet.scalar(1))
+        cib.insert(factory.dst_prefix("10.0.0.0/24"), CountSet.scalar(2))
+        parts = dict(cib.lookup(factory.dst_prefix("10.0.0.0/23"), CountSet.zero()))
+        assert parts[factory.dst_prefix("10.0.0.0/24")] == CountSet.scalar(2)
+        assert parts[factory.dst_prefix("10.0.1.0/24")] == CountSet.scalar(1)
+
+    def test_withdraw_removes(self, factory):
+        cib = CibIn()
+        cib.insert(factory.dst_prefix("10.0.0.0/23"), CountSet.scalar(1))
+        cib.withdraw([factory.dst_prefix("10.0.0.0/24")])
+        parts = dict(cib.lookup(factory.dst_prefix("10.0.0.0/23"), CountSet.zero()))
+        assert parts[factory.dst_prefix("10.0.0.0/24")] == CountSet.zero()
+        assert parts[factory.dst_prefix("10.0.1.0/24")] == CountSet.scalar(1)
+
+    def test_lookup_partition_covers_region(self, factory):
+        cib = CibIn()
+        cib.insert(factory.dst_prefix("10.0.0.0/25"), CountSet.scalar(3))
+        region = factory.dst_prefix("10.0.0.0/24")
+        parts = cib.lookup(region, CountSet.zero())
+        union = factory.empty()
+        for predicate, _ in parts:
+            assert (union & predicate).is_empty
+            union = union | predicate
+        assert union == region
+
+
+class TestLocCib:
+    def test_remove_overlapping_splits(self, factory):
+        loc = LocCib()
+        loc.insert(
+            LocEntry(factory.dst_prefix("10.0.0.0/23"), CountSet.scalar(1), None, {})
+        )
+        removed = loc.remove_overlapping(factory.dst_prefix("10.0.0.0/24"))
+        assert len(removed) == 1
+        assert removed[0].predicate == factory.dst_prefix("10.0.0.0/24")
+        remaining = loc.lookup(factory.dst_prefix("10.0.0.0/23"))
+        assert len(remaining) == 1
+        assert remaining[0][0] == factory.dst_prefix("10.0.1.0/24")
+
+    def test_remove_disjoint_is_noop(self, factory):
+        loc = LocCib()
+        loc.insert(
+            LocEntry(factory.dst_prefix("10.0.0.0/24"), CountSet.scalar(1), None, {})
+        )
+        assert loc.remove_overlapping(factory.dst_prefix("11.0.0.0/24")) == []
+        assert len(loc.entries) == 1
+
+    def test_lookup_restricts(self, factory):
+        loc = LocCib()
+        loc.insert(
+            LocEntry(factory.all_packets(), CountSet.scalar(7), None, {})
+        )
+        parts = loc.lookup(factory.dst_prefix("10.0.0.0/24"))
+        assert parts == [(factory.dst_prefix("10.0.0.0/24"), CountSet.scalar(7))]
+
+
+class TestCibOut:
+    def test_first_diff_announces_everything(self, factory):
+        out = CibOut()
+        region = factory.dst_prefix("10.0.0.0/24")
+        withdrawn, results = out.diff_against(
+            region, [(region, CountSet.scalar(1))]
+        )
+        assert withdrawn == [region]
+        assert results == [(region, CountSet.scalar(1))]
+
+    def test_unchanged_diff_is_empty(self, factory):
+        out = CibOut()
+        region = factory.dst_prefix("10.0.0.0/24")
+        out.diff_against(region, [(region, CountSet.scalar(1))])
+        withdrawn, results = out.diff_against(
+            region, [(region, CountSet.scalar(1))]
+        )
+        assert withdrawn == [] and results == []
+
+    def test_partial_change_sends_only_delta(self, factory):
+        out = CibOut()
+        low = factory.dst_prefix("10.0.0.0/25")
+        high = factory.dst_prefix("10.0.0.128/25")
+        region = low | high
+        out.diff_against(region, [(region, CountSet.scalar(1))])
+        withdrawn, results = out.diff_against(
+            region,
+            [(low, CountSet.scalar(1)), (high, CountSet.scalar(2))],
+        )
+        assert withdrawn == [high]
+        assert results == [(high, CountSet.scalar(2))]
+
+    def test_protocol_principle(self, factory):
+        """Union of withdrawn == union of incoming results (§5.2)."""
+        out = CibOut()
+        region = factory.dst_prefix("10.0.0.0/23")
+        out.diff_against(region, [(region, CountSet.scalar(0))])
+        low = factory.dst_prefix("10.0.0.0/24")
+        high = factory.dst_prefix("10.0.1.0/24")
+        withdrawn, results = out.diff_against(
+            region,
+            [(low, CountSet.scalar(1)), (high, CountSet.scalar(2))],
+        )
+        withdrawn_union = factory.union(withdrawn)
+        results_union = factory.union(p for p, _ in results)
+        assert withdrawn_union == results_union
+
+    def test_merges_equal_counts(self, factory):
+        out = CibOut()
+        low = factory.dst_prefix("10.0.0.0/24")
+        high = factory.dst_prefix("10.0.1.0/24")
+        withdrawn, results = out.diff_against(
+            low | high,
+            [(low, CountSet.scalar(1)), (high, CountSet.scalar(1))],
+        )
+        assert len(results) == 1
+        assert results[0][0] == low | high

@@ -1,0 +1,52 @@
+"""Unit tests for link-state flooding."""
+
+from repro.dvm.linkstate import LinkStateDatabase, LinkStateMessage
+
+
+def make(origin, seq, link, up):
+    return LinkStateMessage(
+        plan_id="p", origin=origin, sequence=seq, link=link, up=up
+    )
+
+
+class TestDatabase:
+    def test_failure_recorded(self):
+        db = LinkStateDatabase()
+        assert db.observe(make("S", 0, ("A", "B"), up=False))
+        assert db.failed_links == frozenset({("A", "B")})
+
+    def test_duplicate_suppressed(self):
+        db = LinkStateDatabase()
+        message = make("S", 0, ("A", "B"), up=False)
+        assert db.observe(message)
+        assert not db.observe(message)  # stop re-flooding
+
+    def test_stale_sequence_suppressed(self):
+        db = LinkStateDatabase()
+        db.observe(make("S", 5, ("A", "B"), up=False))
+        assert not db.observe(make("S", 3, ("A", "B"), up=True))
+        assert db.failed_links == frozenset({("A", "B")})
+
+    def test_recovery_supersedes(self):
+        db = LinkStateDatabase()
+        db.observe(make("S", 0, ("A", "B"), up=False))
+        assert db.observe(make("S", 1, ("A", "B"), up=True))
+        assert db.failed_links == frozenset()
+
+    def test_link_normalization(self):
+        db = LinkStateDatabase()
+        db.observe(make("S", 0, ("B", "A"), up=False))
+        assert db.failed_links == frozenset({("A", "B")})
+
+    def test_independent_origins(self):
+        db = LinkStateDatabase()
+        assert db.observe(make("A", 0, ("A", "B"), up=False))
+        # Same link seen by the other endpoint is still new information.
+        assert db.observe(make("B", 0, ("A", "B"), up=False))
+
+    def test_local_event_increments_sequence(self):
+        db = LinkStateDatabase()
+        first = db.local_event("p", "S", ("A", "B"), up=False)
+        second = db.local_event("p", "S", ("A", "B"), up=True)
+        assert second.sequence == first.sequence + 1
+        assert db.failed_links == frozenset()

@@ -1,0 +1,75 @@
+"""DVM session management: peer loss and re-establishment refresh."""
+
+import pytest
+
+from repro.dataplane.routes import RouteConfig, install_routes
+from repro.dvm.messages import OpenMessage, UpdateMessage
+from repro.planner import plan_invariant
+from repro.spec import library
+from repro.topology.generators import paper_example
+
+
+@pytest.fixture()
+def converged(cluster_factory, dst_factory):
+    topology = paper_example()
+    fibs = install_routes(topology, dst_factory, RouteConfig(ecmp="any"))
+    packets = dst_factory.dst_prefix("10.0.0.0/23")
+    plan = plan_invariant(
+        library.bounded_reachability(packets, "S", "D", 2), topology
+    )
+    cluster = cluster_factory(topology, dst_factory, fibs)
+    cluster.install("p", plan)
+    assert cluster.holds("p")
+    return cluster, plan
+
+
+class TestPeerDown:
+    def test_losing_downstream_peer_degrades_counts(self, converged):
+        cluster, plan = converged
+        # A loses its sessions to both downstream neighbors: its counts
+        # fall back to the unknown/zero default and S's verdict flips.
+        queue_add = cluster.queue.extend
+        queue_add(cluster.verifiers["A"].on_peer_down("B"))
+        queue_add(cluster.verifiers["A"].on_peer_down("W"))
+        cluster.pump()
+        assert not cluster.holds("p")
+
+    def test_reopen_refreshes_full_state(self, converged):
+        cluster, plan = converged
+        cluster.queue.extend(cluster.verifiers["A"].on_peer_down("B"))
+        cluster.queue.extend(cluster.verifiers["A"].on_peer_down("W"))
+        cluster.pump()
+        assert not cluster.holds("p")
+        # The sessions come back: A re-OPENs toward its downstream
+        # neighbors, which respond with full refreshes.
+        for peer in ("B", "W"):
+            refresh = cluster.verifiers[peer].on_message(
+                OpenMessage(plan_id="p", device="A")
+            )
+            cluster.queue.extend(refresh)
+        cluster.pump()
+        assert cluster.holds("p")
+
+    def test_refresh_obeys_protocol_principle(self, converged, dst_factory):
+        cluster, plan = converged
+        refresh = cluster.verifiers["W"].on_message(
+            OpenMessage(plan_id="p", device="A")
+        )
+        updates = [m for _, m in refresh if isinstance(m, UpdateMessage)]
+        assert updates
+        for update in updates:
+            withdrawn = dst_factory.union(update.withdrawn)
+            incoming = dst_factory.union(p for p, _ in update.results)
+            assert incoming.is_subset_of(withdrawn)
+
+    def test_peer_down_without_children_is_noop(self, converged):
+        cluster, plan = converged
+        # D has no downstream neighbors: losing any peer changes nothing.
+        assert cluster.verifiers["D"].on_peer_down("W") == []
+
+    def test_open_for_unknown_plan_ignored(self, converged):
+        cluster, plan = converged
+        out = cluster.verifiers["W"].on_message(
+            OpenMessage(plan_id="ghost", device="A")
+        )
+        assert out == []

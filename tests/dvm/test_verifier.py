@@ -1,0 +1,279 @@
+"""On-device verifier tests: distributed counting over the DVM protocol.
+
+Every test cross-checks the distributed fixpoint against the centralized
+Algorithm 1 where meaningful.
+"""
+
+import pytest
+
+from repro.counting import count_dpvnet
+from repro.counting.counts import CountSet
+from repro.dataplane.actions import ALL, ANY, Deliver, Drop, Forward
+from repro.dataplane.routes import PRIORITY_ERROR, RouteConfig, install_routes
+from repro.planner import plan_invariant
+from repro.spec import library
+from repro.topology.generators import paper_example
+
+
+@pytest.fixture()
+def topology():
+    return paper_example()
+
+
+@pytest.fixture()
+def routed(topology, dst_factory):
+    return install_routes(topology, dst_factory, RouteConfig(ecmp="any"))
+
+
+@pytest.fixture()
+def packets(dst_factory):
+    return dst_factory.dst_prefix("10.0.0.0/23")
+
+
+class TestConvergence:
+    def test_reachability_holds(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        plan = plan_invariant(
+            library.bounded_reachability(packets, "S", "D", 2), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        assert cluster.holds("p")
+
+    def test_waypoint_violated_by_ecmp(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        plan = plan_invariant(
+            library.waypoint_reachability(packets, "S", "W", "D"), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        assert not cluster.holds("p")
+
+    def test_matches_algorithm1(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        """The distributed fixpoint equals the centralized count."""
+        plan = plan_invariant(
+            library.waypoint_reachability(packets, "S", "W", "D"), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        from repro.dataplane.lec import build_lec_table
+
+        tables = {
+            device: build_lec_table(fib, dst_factory)
+            for device, fib in routed.items()
+        }
+
+        def action_of(device):
+            return tables[device].action_for(packets)
+
+        reference = count_dpvnet(plan.dpvnet, action_of)
+        expected = reference[plan.root_nodes["S"]]
+        verdicts = cluster.verdicts("p")
+        # minimal mode propagates min only (count_exp is >= 1)
+        assert len(verdicts) == 1
+        assert verdicts[0].counts.scalars() == (min(expected.scalars()),)
+
+    def test_quiescence_reached(self, cluster_factory, topology, dst_factory, routed, packets):
+        plan = plan_invariant(
+            library.bounded_reachability(packets, "S", "D", 2), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        assert cluster.pump() == 0  # no residual churn
+
+
+class TestIncremental:
+    def test_fixing_update_flips_verdict(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        plan = plan_invariant(
+            library.waypoint_reachability(packets, "S", "W", "D"), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        assert not cluster.holds("p")
+        routed["A"].insert(PRIORITY_ERROR, packets, Forward(["W"]), label="fix")
+        cluster.fib_changed("A")
+        assert cluster.holds("p")
+
+    def test_breaking_update_flips_verdict(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        plan = plan_invariant(
+            library.bounded_reachability(packets, "S", "D", 2), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        assert cluster.holds("p")
+        routed["A"].insert(PRIORITY_ERROR, packets, Drop(), label="blackhole")
+        cluster.fib_changed("A")
+        assert not cluster.holds("p")
+
+    def test_irrelevant_update_sends_no_messages(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        """Updates outside the invariant's packet space stay local --
+        the reason §9.3.3's incremental times are sub-10 ms."""
+        plan = plan_invariant(
+            library.bounded_reachability(packets, "S", "D", 2), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        routed["B"].insert(
+            PRIORITY_ERROR,
+            dst_factory.dst_prefix("99.0.0.0/24"),
+            Drop(),
+            label="unrelated",
+        )
+        assert cluster.fib_changed("B") == 0
+
+    def test_equal_count_update_does_not_propagate(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        """Re-routing that preserves counts is absorbed locally."""
+        plan = plan_invariant(
+            library.bounded_reachability(packets, "S", "D", 2), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        # A flips from ECMP {B, W} to W only: both deliver min count 1.
+        routed["A"].insert(PRIORITY_ERROR, packets, Forward(["W"]), label="pin")
+        messages = cluster.fib_changed("A")
+        # One hop of updates at most (A -> S), never a full flood.
+        assert messages <= 2
+        assert cluster.holds("p")
+
+    def test_update_partial_packet_space(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        """A /24 slice update must split predicates, not clobber the /23."""
+        plan = plan_invariant(
+            library.bounded_reachability(packets, "S", "D", 2), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        hole = dst_factory.dst_prefix("10.0.1.0/24")
+        routed["W"].insert(PRIORITY_ERROR, hole, Drop(), label="hole")
+        routed["B"].insert(PRIORITY_ERROR, hole, Drop(), label="hole")
+        cluster.fib_changed("W")
+        cluster.fib_changed("B")
+        verdicts = cluster.verdicts("p")
+        failing = [v for v in verdicts if not v.holds]
+        holding = [v for v in verdicts if v.holds]
+        assert failing and holding
+        assert failing[0].predicate == hole
+        assert holding[0].predicate == dst_factory.dst_prefix("10.0.0.0/24")
+
+
+class TestLinkFailures:
+    def test_link_down_zeroes_concrete_invariant(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        """Concrete-filter invariant: failures are handled by zeroing
+        counts across the failed link, no planner involved."""
+        plan = plan_invariant(
+            library.limited_length_reachability(packets, "S", "D", 4), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        assert cluster.holds("p")
+        # Cut both of D's links: nothing reaches it.
+        cluster.link_event("B", "D", up=False)
+        cluster.link_event("W", "D", up=False)
+        assert not cluster.holds("p")
+
+    def test_single_failure_breaks_any_universe(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        """With ECMP ANY at A, failing (B, D) alone violates: the
+        universe where A picks B strands the packet on B's dead link --
+        exactly the per-universe semantics of §2.1."""
+        plan = plan_invariant(
+            library.limited_length_reachability(packets, "S", "D", 4), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        assert cluster.holds("p")
+        cluster.link_event("B", "D", up=False)
+        assert not cluster.holds("p")
+
+    def test_link_recovery_restores(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        plan = plan_invariant(
+            library.limited_length_reachability(packets, "S", "D", 4), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        cluster.link_event("B", "D", up=False)
+        assert not cluster.holds("p")
+        cluster.link_event("B", "D", up=True)
+        assert cluster.holds("p")
+
+    def test_flooding_reaches_all_devices(
+        self, cluster_factory, topology, dst_factory, routed, packets
+    ):
+        plan = plan_invariant(
+            library.limited_length_reachability(packets, "S", "D", 4), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        cluster.install("p", plan)
+        cluster.link_event("B", "D", up=False)
+        for verifier in cluster.verifiers.values():
+            assert verifier.linkstate.failed_links == frozenset({("B", "D")})
+
+
+class TestLocalMode:
+    def test_all_shortest_path_holds(
+        self, cluster_factory, topology, dst_factory, packets
+    ):
+        fibs = install_routes(topology, dst_factory, RouteConfig(ecmp="any"))
+        plan = plan_invariant(
+            library.all_shortest_path_availability(
+                dst_factory.dst_prefix("10.0.0.0/24"), "S", "D"
+            ),
+            topology,
+        )
+        cluster = cluster_factory(topology, dst_factory, fibs)
+        cluster.install("p", plan)
+        assert not cluster.violations("p")
+
+    def test_missing_ecmp_member_violates(
+        self, cluster_factory, topology, dst_factory
+    ):
+        """RCDC semantics: *all* shortest paths must be programmed."""
+        fibs = install_routes(topology, dst_factory, RouteConfig(ecmp="any"))
+        space = dst_factory.dst_prefix("10.0.0.0/24")
+        plan = plan_invariant(
+            library.all_shortest_path_availability(space, "S", "D"), topology
+        )
+        # A pins to W only: the B-side shortest path disappears.
+        fibs["A"].insert(PRIORITY_ERROR, space, Forward(["W"]), label="pin")
+        cluster = cluster_factory(topology, dst_factory, fibs)
+        cluster.install("p", plan)
+        violations = cluster.violations("p")
+        assert violations
+        assert violations[0].device == "A"
+        assert "missing" in violations[0].reason
+
+    def test_local_mode_sends_no_counting_messages(
+        self, cluster_factory, topology, dst_factory, routed
+    ):
+        """Prop. 1's equal case: minimal counting information is empty."""
+        space = dst_factory.dst_prefix("10.0.0.0/24")
+        plan = plan_invariant(
+            library.all_shortest_path_availability(space, "S", "D"), topology
+        )
+        cluster = cluster_factory(topology, dst_factory, routed)
+        delivered = cluster.install("p", plan)
+        from repro.dvm.messages import UpdateMessage
+
+        # only OPEN messages may flow; no UPDATE counting traffic
+        assert not any(
+            isinstance(message, UpdateMessage) for _, message in cluster.queue
+        )
+        assert cluster.pump() == 0

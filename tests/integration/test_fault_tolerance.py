@@ -1,0 +1,124 @@
+"""§6 end to end: fault-tolerant DPVNet + link-state flooding + online
+recounting without the planner."""
+
+import pytest
+
+from repro.dataplane.routes import RouteConfig, install_routes
+from repro.packetspace.fields import DSTIP_ONLY_LAYOUT
+from repro.packetspace.predicate import PredicateFactory
+from repro.planner import plan_invariant
+from repro.simulator.network import SimulatedNetwork
+from repro.spec.ast import (
+    CountExpr,
+    Exist,
+    Invariant,
+    LengthFilter,
+    Match,
+    PathExp,
+    SHORTEST,
+)
+from repro.topology.generators import paper_example
+from repro.topology.graph import FaultScene
+
+
+@pytest.fixture()
+def setting():
+    factory = PredicateFactory(DSTIP_ONLY_LAYOUT)
+    topology = paper_example()
+    fibs = install_routes(topology, factory, RouteConfig(ecmp="any"))
+    packets = factory.dst_prefix("10.0.0.0/23")
+    return factory, topology, fibs, packets
+
+
+def make_plan(topology, packets, scenes):
+    invariant = Invariant(
+        packets,
+        ("S",),
+        Match(
+            Exist(CountExpr(">=", 1)),
+            PathExp(
+                "S .* D",
+                (LengthFilter("<=", SHORTEST, 1),),
+                loop_free=True,
+            ),
+        ),
+        fault_scenes=scenes,
+        name="ft-reach",
+    )
+    return plan_invariant(invariant, topology)
+
+
+class TestPlannedScene:
+    def test_planned_failure_recounts_without_planner(self, setting):
+        """After a planned scene fires, verifiers switch to its labels
+        and recount; with the symbolic (<= shortest+1) filter the valid
+        path set *changes* (Prop. 2) but remains verifiable.
+
+        Note: A's ECMP toward D is {B, W}; failing (A, B) means the B
+        universe dies at A's dead link... A's FIB forwards P to B or W;
+        with (A, B) down the B choice is lost.  The invariant therefore
+        correctly FAILS unless the data plane is repaired -- we repair A
+        to pin W and expect a pass, all without planner involvement.
+        """
+        factory, topology, fibs, packets = setting
+        scene = FaultScene([("A", "B")])
+        plan = make_plan(topology, packets, (scene,))
+        assert len(plan.scenes) == 2
+
+        network = SimulatedNetwork(topology, fibs, factory)
+        network.install_plan("ft", plan)
+        assert network.holds("ft")
+
+        # the failure fires: the scene is planned, so devices adapt alone
+        network.fail_link("A", "B")
+        # data plane repair: A re-routes around the dead link
+        from repro.dataplane.actions import Forward
+        from repro.dataplane.routes import PRIORITY_ERROR
+
+        network.fib_update(
+            "A",
+            lambda: fibs["A"].insert(
+                PRIORITY_ERROR, packets, Forward(["W"]), label="repair"
+            ),
+        )
+        assert network.holds("ft")
+        # no unplanned-scene reports reached the planner
+        assert not any(
+            verifier.unplanned_scene_reports
+            for verifier in network.verifiers.values()
+        )
+
+    def test_unplanned_failure_reports_to_planner(self, setting):
+        factory, topology, fibs, packets = setting
+        plan = make_plan(topology, packets, (FaultScene([("A", "B")]),))
+        network = SimulatedNetwork(topology, fibs, factory)
+        network.install_plan("ft", plan)
+        network.fail_link("B", "W")  # not a planned scene
+        reports = [
+            report
+            for verifier in network.verifiers.values()
+            for report in verifier.unplanned_scene_reports
+        ]
+        assert reports
+        assert all(("B", "W") in report for report in reports)
+
+    def test_scene_resolution_back_to_intact(self, setting):
+        factory, topology, fibs, packets = setting
+        scene = FaultScene([("A", "B")])
+        plan = make_plan(topology, packets, (scene,))
+        network = SimulatedNetwork(topology, fibs, factory)
+        network.install_plan("ft", plan)
+        network.fail_link("A", "B")
+        network.recover_link("A", "B")
+        assert network.holds("ft")
+
+    def test_symbolic_filter_scene_uses_new_shortest(self, setting):
+        """Failing (B, D) makes the shortest S-D path longer for the B
+        branch; the scene's DPVNet labels admit the longer paths that the
+        intact topology's filter would reject."""
+        factory, topology, fibs, packets = setting
+        scene = FaultScene([("B", "D")])
+        plan = make_plan(topology, packets, (scene,))
+        intact_paths = set(plan.dpvnet.paths(label=(0, 0)))
+        scene_paths = set(plan.dpvnet.paths(label=(0, 1)))
+        assert scene_paths != intact_paths

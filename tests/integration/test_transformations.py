@@ -1,0 +1,84 @@
+"""Packet transformations across the DVM protocol (§5.2 SUBSCRIBE).
+
+A middle device rewrites headers before forwarding; downstream counting
+happens in the transformed space and is translated back by the
+subscribing device.
+"""
+
+import pytest
+
+from repro.dataplane.actions import Deliver, Drop, Forward
+from repro.dataplane.fib import Fib
+from repro.packetspace.transform import Rewrite
+from repro.planner import plan_invariant
+from repro.simulator.network import SimulatedNetwork
+from repro.spec import library
+from repro.topology.generators import line
+
+
+@pytest.fixture()
+def topology():
+    chain = line(3)  # d0 - d1 - d2
+    chain.attach_prefix("d2", "10.0.0.0/24")
+    return chain
+
+
+def build_fibs(factory, rewrite_ok=True):
+    """d0 forwards port-80 traffic to d1; d1 NATs dst_port to 8080 and
+    forwards to d2; d2 delivers (or drops, in the broken variant) the
+    transformed traffic."""
+    fibs = {name: Fib(name) for name in ("d0", "d1", "d2")}
+    original = factory.dst_prefix("10.0.0.0/24") & factory.dst_port(80)
+    transformed = factory.dst_prefix("10.0.0.0/24") & factory.dst_port(8080)
+    fibs["d0"].insert(100, original, Forward(["d1"]))
+    fibs["d1"].insert(
+        100, original, Forward(["d2"], rewrite=Rewrite({"dst_port": 8080}))
+    )
+    if rewrite_ok:
+        fibs["d2"].insert(100, transformed, Deliver())
+    else:
+        # d2 only accepts the *original* port: transformed traffic drops.
+        fibs["d2"].insert(100, original, Deliver())
+    return fibs, original
+
+
+class TestTransformation:
+    def test_transformed_traffic_counts(self, factory, topology):
+        fibs, original = build_fibs(factory, rewrite_ok=True)
+        invariant = library.reachability(original, "d0", "d2")
+        plan = plan_invariant(invariant, topology)
+        network = SimulatedNetwork(topology, fibs, factory)
+        network.install_plan("p", plan)
+        assert network.holds("p")
+
+    def test_dropped_transformed_traffic_detected(self, factory, topology):
+        fibs, original = build_fibs(factory, rewrite_ok=False)
+        invariant = library.reachability(original, "d0", "d2")
+        plan = plan_invariant(invariant, topology)
+        network = SimulatedNetwork(topology, fibs, factory)
+        network.install_plan("p", plan)
+        assert not network.holds("p")
+
+    def test_subscribe_messages_sent(self, factory, topology):
+        from repro.dvm.messages import SubscribeMessage
+
+        fibs, original = build_fibs(factory, rewrite_ok=True)
+        invariant = library.reachability(original, "d0", "d2")
+        plan = plan_invariant(invariant, topology)
+        network = SimulatedNetwork(topology, fibs, factory, strict_wire=True)
+        network.install_plan("p", plan)
+        assert network.holds("p")
+
+    def test_incremental_update_after_transform(self, factory, topology):
+        fibs, original = build_fibs(factory, rewrite_ok=True)
+        invariant = library.reachability(original, "d0", "d2")
+        plan = plan_invariant(invariant, topology)
+        network = SimulatedNetwork(topology, fibs, factory)
+        network.install_plan("p", plan)
+        assert network.holds("p")
+        transformed = factory.dst_prefix("10.0.0.0/24") & factory.dst_port(8080)
+        network.fib_update(
+            "d2",
+            lambda: fibs["d2"].insert(200, transformed, Drop(), label="break"),
+        )
+        assert not network.holds("p")

@@ -1,0 +1,66 @@
+"""Unit tests for header layouts."""
+
+import pytest
+
+from repro.packetspace.fields import DEFAULT_LAYOUT, FieldSpec, HeaderLayout
+
+
+class TestFieldSpec:
+    def test_bit_var_msb_first(self):
+        spec = FieldSpec("dst_ip", 32, 0)
+        assert spec.bit_var(0) == 0
+        assert spec.bit_var(31) == 31
+
+    def test_bit_var_with_offset(self):
+        spec = FieldSpec("dst_port", 16, 64)
+        assert spec.bit_var(0) == 64
+
+    def test_bit_out_of_range(self):
+        spec = FieldSpec("proto", 8, 0)
+        with pytest.raises(ValueError):
+            spec.bit_var(8)
+
+    def test_max_value(self):
+        assert FieldSpec("proto", 8, 0).max_value == 255
+
+    def test_variables(self):
+        spec = FieldSpec("x", 3, 10)
+        assert spec.variables() == (10, 11, 12)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            FieldSpec("x", 0, 0)
+
+
+class TestHeaderLayout:
+    def test_default_layout_shape(self):
+        assert DEFAULT_LAYOUT.num_vars == 104
+        assert DEFAULT_LAYOUT.field_names() == (
+            "dst_ip",
+            "src_ip",
+            "dst_port",
+            "src_port",
+            "proto",
+        )
+
+    def test_packed_offsets(self):
+        layout = HeaderLayout.packed(("a", 4), ("b", 8))
+        assert layout.field("a").offset == 0
+        assert layout.field("b").offset == 4
+        assert layout.num_vars == 12
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderLayout((FieldSpec("a", 4, 0), FieldSpec("a", 4, 4)))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderLayout((FieldSpec("a", 8, 0), FieldSpec("b", 8, 4)))
+
+    def test_unknown_field(self):
+        with pytest.raises(KeyError):
+            DEFAULT_LAYOUT.field("nope")
+
+    def test_contains(self):
+        assert "dst_ip" in DEFAULT_LAYOUT
+        assert "ttl" not in DEFAULT_LAYOUT

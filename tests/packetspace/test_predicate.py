@@ -1,0 +1,152 @@
+"""Unit tests for packet-space predicates."""
+
+import pytest
+
+from repro.packetspace.fields import DSTIP_ONLY_LAYOUT
+from repro.packetspace.predicate import PredicateFactory, _range_to_prefixes
+
+
+class TestConstants:
+    def test_empty_and_full(self, factory):
+        assert factory.empty().is_empty
+        assert factory.all_packets().is_full
+        assert not factory.all_packets().is_empty
+
+    def test_complement_of_empty_is_full(self, factory):
+        assert ~factory.empty() == factory.all_packets()
+
+
+class TestFieldConstraints:
+    def test_field_eq_count(self, factory):
+        p = factory.field_eq("proto", 6)
+        assert p.count() == 1 << (104 - 8)
+
+    def test_field_eq_out_of_range(self, factory):
+        with pytest.raises(ValueError):
+            factory.field_eq("proto", 256)
+
+    def test_unknown_field(self, factory):
+        with pytest.raises(KeyError):
+            factory.field_eq("ttl", 1)
+
+    def test_prefix_zero_length_is_full(self, factory):
+        assert factory.field_prefix("dst_ip", 0, 0).is_full
+
+    def test_prefix_nesting(self, factory):
+        wide = factory.dst_prefix("10.0.0.0/8")
+        narrow = factory.dst_prefix("10.1.0.0/16")
+        assert narrow.is_subset_of(wide)
+        assert not wide.is_subset_of(narrow)
+
+    def test_disjoint_prefixes(self, factory):
+        a = factory.dst_prefix("10.0.0.0/24")
+        b = factory.dst_prefix("10.0.1.0/24")
+        assert (a & b).is_empty
+
+    def test_sibling_prefixes_union_to_parent(self, factory):
+        a = factory.dst_prefix("10.0.0.0/24")
+        b = factory.dst_prefix("10.0.1.0/24")
+        assert (a | b) == factory.dst_prefix("10.0.0.0/23")
+
+    def test_host_route(self, factory):
+        host = factory.dst_prefix("192.168.1.1/32")
+        assert host.count() == 1 << (104 - 32)
+
+    def test_field_range_counts(self, factory):
+        r = factory.field_range("dst_port", 10, 20)
+        assert r.count() == 11 * (1 << (104 - 16))
+
+    def test_field_range_single(self, factory):
+        assert factory.field_range("dst_port", 80, 80) == factory.dst_port(80)
+
+    def test_field_range_full(self, factory):
+        assert factory.field_range("dst_port", 0, 65535).is_full
+
+    def test_field_range_invalid(self, factory):
+        with pytest.raises(ValueError):
+            factory.field_range("dst_port", 20, 10)
+
+
+class TestAlgebra:
+    def test_figure2_partition(self, figure2_spaces):
+        spaces = figure2_spaces
+        assert (spaces["P2"] | spaces["P3"] | spaces["P4"]) == spaces["P1"]
+        assert (spaces["P2"] & spaces["P3"]).is_empty
+        assert (spaces["P3"] & spaces["P4"]).is_empty
+
+    def test_difference(self, factory):
+        a = factory.dst_prefix("10.0.0.0/23")
+        b = factory.dst_prefix("10.0.0.0/24")
+        assert (a - b) == factory.dst_prefix("10.0.1.0/24")
+
+    def test_overlaps(self, factory):
+        a = factory.dst_prefix("10.0.0.0/24")
+        assert a.overlaps(factory.dst_prefix("10.0.0.0/8"))
+        assert not a.overlaps(factory.dst_prefix("11.0.0.0/8"))
+
+    def test_cross_factory_rejected(self, factory):
+        other = PredicateFactory()
+        with pytest.raises(ValueError):
+            factory.all_packets() & other.all_packets()
+
+    def test_union_helper(self, factory):
+        parts = [factory.dst_prefix(f"10.0.{i}.0/24") for i in range(4)]
+        assert factory.union(parts) == factory.dst_prefix("10.0.0.0/22")
+
+    def test_intersection_helper(self, factory):
+        result = factory.intersection(
+            [factory.dst_prefix("10.0.0.0/8"), factory.dst_prefix("10.1.0.0/16")]
+        )
+        assert result == factory.dst_prefix("10.1.0.0/16")
+
+    def test_hashable(self, factory):
+        a = factory.dst_prefix("10.0.0.0/24")
+        b = factory.dst_prefix("10.0.0.0/24")
+        assert len({a, b}) == 1
+
+
+class TestSample:
+    def test_sample_of_empty_is_none(self, factory):
+        assert factory.empty().sample() is None
+
+    def test_sample_in_prefix(self, factory):
+        packet = factory.dst_prefix("10.0.1.0/24").sample()
+        assert packet["dst_ip"] >> 8 == (10 << 16) | 1
+
+    def test_sample_respects_port(self, factory):
+        packet = (factory.dst_port(443)).sample()
+        assert packet["dst_port"] == 443
+
+
+class TestWire:
+    def test_round_trip(self, factory):
+        p = factory.dst_prefix("172.16.0.0/12") & factory.dst_port(53)
+        assert factory.from_bytes(p.to_bytes()) == p
+
+
+class TestCompactLayout:
+    def test_dstip_only_layout(self):
+        factory = PredicateFactory(DSTIP_ONLY_LAYOUT)
+        p = factory.dst_prefix("10.0.0.0/24")
+        assert p.count() == 256
+        with pytest.raises(KeyError):
+            factory.dst_port(80)
+
+
+class TestRangeDecomposition:
+    def test_exact_block(self):
+        assert _range_to_prefixes(0, 255, 32) == ((0, 8),)
+
+    def test_single_value(self):
+        assert _range_to_prefixes(5, 5, 16) == ((5, 0),)
+
+    def test_covers_range(self):
+        blocks = _range_to_prefixes(3, 17, 8)
+        covered = set()
+        for base, shift in blocks:
+            start = base << shift
+            covered.update(range(start, start + (1 << shift)))
+        assert covered == set(range(3, 18))
+
+    def test_full_space(self):
+        assert _range_to_prefixes(0, 255, 8) == ((0, 8),)

@@ -1,0 +1,134 @@
+"""Property-based tests: predicates form a boolean set algebra.
+
+Random predicates built over a tiny header layout are compared against
+explicit Python sets of concrete packets -- operations and relations must
+agree exactly.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packetspace.fields import HeaderLayout
+from repro.packetspace.predicate import PredicateFactory
+
+#: 6-bit universe: two 3-bit fields.
+LAYOUT = HeaderLayout.packed(("a", 3), ("b", 3))
+UNIVERSE = frozenset(itertools.product(range(8), range(8)))
+
+
+def terms():
+    return st.one_of(
+        st.tuples(st.just("eq"), st.sampled_from(["a", "b"]), st.integers(0, 7)),
+        st.tuples(
+            st.just("prefix"),
+            st.sampled_from(["a", "b"]),
+            st.integers(0, 7),
+            st.integers(0, 3),
+        ),
+        st.tuples(
+            st.just("range"),
+            st.sampled_from(["a", "b"]),
+            st.integers(0, 7),
+            st.integers(0, 7),
+        ),
+    )
+
+
+def expressions():
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("sub"), children, children),
+        )
+
+    return st.recursive(terms(), extend, max_leaves=8)
+
+
+def build(factory, expr):
+    kind = expr[0]
+    if kind == "eq":
+        return factory.field_eq(expr[1], expr[2])
+    if kind == "prefix":
+        return factory.field_prefix(expr[1], expr[2], expr[3])
+    if kind == "range":
+        lo, hi = sorted((expr[2], expr[3]))
+        return factory.field_range(expr[1], lo, hi)
+    if kind == "not":
+        return ~build(factory, expr[1])
+    left = build(factory, expr[1])
+    right = build(factory, expr[2])
+    if kind == "and":
+        return left & right
+    if kind == "or":
+        return left | right
+    return left - right
+
+
+def model(expr):
+    """The same expression as an explicit set of (a, b) packets."""
+    kind = expr[0]
+    if kind == "eq":
+        index = 0 if expr[1] == "a" else 1
+        return frozenset(p for p in UNIVERSE if p[index] == expr[2])
+    if kind == "prefix":
+        index = 0 if expr[1] == "a" else 1
+        length = expr[3]
+        want = expr[2] >> (3 - length) if length else 0
+        return frozenset(
+            p for p in UNIVERSE if (p[index] >> (3 - length) if length else 0) == want
+        )
+    if kind == "range":
+        index = 0 if expr[1] == "a" else 1
+        lo, hi = sorted((expr[2], expr[3]))
+        return frozenset(p for p in UNIVERSE if lo <= p[index] <= hi)
+    if kind == "not":
+        return UNIVERSE - model(expr[1])
+    left, right = model(expr[1]), model(expr[2])
+    if kind == "and":
+        return left & right
+    if kind == "or":
+        return left | right
+    return left - right
+
+
+@settings(max_examples=200, deadline=None)
+@given(expressions())
+def test_count_matches_model(expr):
+    factory = PredicateFactory(LAYOUT)
+    assert build(factory, expr).count() == len(model(expr))
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions(), expressions())
+def test_relations_match_model(left, right):
+    factory = PredicateFactory(LAYOUT)
+    p, q = build(factory, left), build(factory, right)
+    sp, sq = model(left), model(right)
+    assert p.is_subset_of(q) == (sp <= sq)
+    assert p.overlaps(q) == bool(sp & sq)
+    assert (p == q) == (sp == sq)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions())
+def test_sample_is_member(expr):
+    factory = PredicateFactory(LAYOUT)
+    predicate = build(factory, expr)
+    packet = predicate.sample()
+    concrete = model(expr)
+    if not concrete:
+        assert packet is None
+    else:
+        assert (packet["a"], packet["b"]) in concrete
+
+
+@settings(max_examples=100, deadline=None)
+@given(expressions())
+def test_wire_round_trip_preserves_set(expr):
+    factory = PredicateFactory(LAYOUT)
+    predicate = build(factory, expr)
+    assert factory.from_bytes(predicate.to_bytes()) == predicate

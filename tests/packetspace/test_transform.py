@@ -1,0 +1,69 @@
+"""Unit tests for packet transformations (header rewrites)."""
+
+import pytest
+
+from repro.packetspace.transform import Rewrite
+
+
+class TestApply:
+    def test_rewrite_port(self, factory):
+        rewrite = Rewrite({"dst_port": 443})
+        image = rewrite.apply(factory.dst_prefix("10.0.0.0/24") & factory.dst_port(80))
+        assert image == factory.dst_prefix("10.0.0.0/24") & factory.dst_port(443)
+
+    def test_rewrite_is_idempotent_on_image(self, factory):
+        rewrite = Rewrite({"dst_port": 443})
+        image = rewrite.apply(factory.dst_port(80))
+        assert rewrite.apply(image) == image
+
+    def test_rewrite_empty_is_empty(self, factory):
+        rewrite = Rewrite({"dst_port": 443})
+        assert rewrite.apply(factory.empty()).is_empty
+
+    def test_rewrite_dst_ip(self, factory):
+        import ipaddress
+
+        nat = Rewrite({"dst_ip": int(ipaddress.ip_address("192.168.0.1"))})
+        image = nat.apply(factory.dst_prefix("10.0.0.0/8"))
+        assert image == factory.dst_prefix("192.168.0.1/32")
+
+    def test_merges_distinct_sources(self, factory):
+        rewrite = Rewrite({"dst_port": 443})
+        a = rewrite.apply(factory.dst_port(80))
+        b = rewrite.apply(factory.dst_port(8080))
+        assert a == b
+
+
+class TestInverse:
+    def test_preimage_of_target_is_full(self, factory):
+        rewrite = Rewrite({"dst_port": 443})
+        assert rewrite.inverse(factory.dst_port(443)).is_full
+
+    def test_preimage_of_disjoint_is_empty(self, factory):
+        rewrite = Rewrite({"dst_port": 443})
+        assert rewrite.inverse(factory.dst_port(80)).is_empty
+
+    def test_preimage_keeps_untouched_fields(self, factory):
+        rewrite = Rewrite({"dst_port": 443})
+        target = factory.dst_prefix("10.0.0.0/24") & factory.dst_port(443)
+        pre = rewrite.inverse(target)
+        assert pre == factory.dst_prefix("10.0.0.0/24")
+
+    def test_apply_then_inverse_covers_source(self, factory):
+        rewrite = Rewrite({"dst_port": 443})
+        source = factory.dst_prefix("10.1.0.0/16") & factory.dst_port(80)
+        image = rewrite.apply(source)
+        assert source.is_subset_of(rewrite.inverse(image))
+
+
+class TestValidation:
+    def test_empty_rewrite_rejected(self):
+        with pytest.raises(ValueError):
+            Rewrite({})
+
+    def test_equality_and_hash(self):
+        a = Rewrite({"dst_port": 1, "proto": 6})
+        b = Rewrite({"proto": 6, "dst_port": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Rewrite({"dst_port": 2})

@@ -1,0 +1,199 @@
+"""Compound invariants (§4.3): anycast (Fig. 5) and same-destination
+disjunctions (Fig. 6) must not raise the false positives the strawman
+cross-product constructions do."""
+
+import pytest
+
+from repro.counting import count_dpvnet
+from repro.dataplane.actions import ALL, ANY, Deliver, Drop, Forward
+from repro.planner import plan_invariant
+from repro.planner.dpvnet import build_dpvnet
+from repro.spec import library
+from repro.spec.ast import (
+    And,
+    CountExpr,
+    Exist,
+    Invariant,
+    Match,
+    Or,
+    PathExp,
+)
+from repro.topology.graph import Topology
+from repro.topology.generators import paper_example
+
+
+@pytest.fixture()
+def anycast_topology():
+    """Figure 5a: S forwards to either D or E (both deliver)."""
+    topology = Topology("fig5")
+    topology.add_link("S", "D", 1e-5)
+    topology.add_link("S", "E", 1e-5)
+    topology.attach_prefix("D", "10.0.0.0/24")
+    topology.attach_prefix("E", "10.0.0.0/24")
+    return topology
+
+
+class TestFigure5Anycast:
+    def test_joint_counting_avoids_false_positive(self, dst_factory, anycast_topology):
+        """S forwards ANY {D, E}: every universe reaches exactly one
+        destination.  Separate DPVNets cross-multiplied would yield the
+        phantom (0,0)/(1,1) outcomes; the joint count never does."""
+        invariant = library.anycast(
+            dst_factory.dst_prefix("10.0.0.0/24"), "S", "D", "E"
+        )
+        plan = plan_invariant(invariant, anycast_topology)
+        actions = {
+            "S": Forward(["D", "E"], kind=ANY),
+            "D": Deliver(),
+            "E": Deliver(),
+        }
+        counts = count_dpvnet(plan.dpvnet, actions.get)
+        root = counts[plan.root_nodes["S"]]
+        # anycast atoms: reach_a(>=1 D), none_a(==0 D), reach_b(==1 E),
+        # none_b(==0 E) -- components 0/1 track D, 2/3 track E.
+        assert plan.holds(root)
+
+    def test_violation_when_both_delivered(self, dst_factory, anycast_topology):
+        invariant = library.anycast(
+            dst_factory.dst_prefix("10.0.0.0/24"), "S", "D", "E"
+        )
+        plan = plan_invariant(invariant, anycast_topology)
+        actions = {
+            "S": Forward(["D", "E"], kind=ALL),  # multicast: violates anycast
+            "D": Deliver(),
+            "E": Deliver(),
+        }
+        counts = count_dpvnet(plan.dpvnet, actions.get)
+        assert not plan.holds(counts[plan.root_nodes["S"]])
+
+    def test_violation_when_neither_delivered(self, dst_factory, anycast_topology):
+        invariant = library.anycast(
+            dst_factory.dst_prefix("10.0.0.0/24"), "S", "D", "E"
+        )
+        plan = plan_invariant(invariant, anycast_topology)
+        actions = {"S": Drop(), "D": Deliver(), "E": Deliver()}
+        counts = count_dpvnet(plan.dpvnet, actions.get)
+        assert not plan.holds(counts[plan.root_nodes["S"]])
+
+
+@pytest.fixture()
+def fig6_invariant(dst_factory):
+    """(exist >= 2, S.*D simple) or (exist >= 1, S.*W.*D simple)."""
+    packets = dst_factory.dst_prefix("10.0.0.0/24")
+    return Invariant(
+        packets,
+        ("S",),
+        Or(
+            Match(Exist(CountExpr(">=", 2)), PathExp("S .* D", loop_free=True)),
+            Match(
+                Exist(CountExpr(">=", 1)),
+                PathExp("S .* W .* D", loop_free=True),
+            ),
+        ),
+        name="fig6",
+    )
+
+
+class TestFigure6SameDestination:
+    def test_no_phantom_error(self, dst_factory, fig6_invariant):
+        """A data plane satisfying only the first disjunct per universe
+        must verify; the separate-DPVNet strawman's cross product would
+        report (2, 0)-style phantom combinations as errors."""
+        topology = paper_example()
+        plan = plan_invariant(fig6_invariant, topology)
+        assert plan.dim == 2
+        # A replicates to both B and W: two copies reach D (one via W).
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["B", "W"], kind=ALL),
+            "B": Forward(["D"]),
+            "W": Forward(["D"]),
+            "D": Deliver(),
+        }
+        counts = count_dpvnet(plan.dpvnet, actions.get)
+        root = counts[plan.root_nodes["S"]]
+        # Exactly one universe: 2 copies via S.*D, 1 of them via W.
+        assert root.tuples == {(2, 1)}
+        assert plan.holds(root)
+
+    def test_second_disjunct_alone_satisfies(self, dst_factory, fig6_invariant):
+        topology = paper_example()
+        plan = plan_invariant(fig6_invariant, topology)
+        # Single path via W: S.*D count is 1 (< 2) but waypoint count is 1.
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["W"]),
+            "W": Forward(["D"]),
+            "B": Drop(),
+            "D": Deliver(),
+        }
+        counts = count_dpvnet(plan.dpvnet, actions.get)
+        root = counts[plan.root_nodes["S"]]
+        assert root.tuples == {(1, 1)}
+        assert plan.holds(root)
+
+    def test_neither_disjunct_fails(self, dst_factory, fig6_invariant):
+        topology = paper_example()
+        plan = plan_invariant(fig6_invariant, topology)
+        # Single path avoiding W: one copy, no waypoint.
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["B"]),
+            "B": Forward(["D"]),
+            "W": Drop(),
+            "D": Deliver(),
+        }
+        counts = count_dpvnet(plan.dpvnet, actions.get)
+        root = counts[plan.root_nodes["S"]]
+        assert root.tuples == {(1, 0)}
+        assert not plan.holds(root)
+
+    def test_correlated_universes(self, dst_factory, fig6_invariant):
+        """ANY at A: universes (B: 1 copy no W) and (W: 1 copy via W).
+        Per-universe Or-evaluation fails the B universe -- a cross
+        product of independent counts could mask it."""
+        topology = paper_example()
+        plan = plan_invariant(fig6_invariant, topology)
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["B", "W"], kind=ANY),
+            "B": Forward(["D"]),
+            "W": Forward(["D"]),
+            "D": Deliver(),
+        }
+        counts = count_dpvnet(plan.dpvnet, actions.get)
+        root = counts[plan.root_nodes["S"]]
+        assert (1, 0) in root.tuples  # the failing universe is visible
+        assert not plan.holds(root)
+
+
+class TestMulticast:
+    def test_multicast_holds_with_all(self, dst_factory):
+        topology = paper_example()
+        packets = dst_factory.dst_prefix("10.0.0.0/24")
+        invariant = library.multicast(packets, "S", ["B", "D"])
+        plan = plan_invariant(invariant, topology)
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["B", "W"], kind=ALL),
+            "B": Deliver(),
+            "W": Forward(["D"]),
+            "D": Deliver(),
+        }
+        counts = count_dpvnet(plan.dpvnet, actions.get)
+        assert plan.holds(counts[plan.root_nodes["S"]])
+
+    def test_multicast_fails_with_any(self, dst_factory):
+        topology = paper_example()
+        packets = dst_factory.dst_prefix("10.0.0.0/24")
+        invariant = library.multicast(packets, "S", ["B", "D"])
+        plan = plan_invariant(invariant, topology)
+        actions = {
+            "S": Forward(["A"]),
+            "A": Forward(["B", "W"], kind=ANY),
+            "B": Deliver(),
+            "W": Forward(["D"]),
+            "D": Deliver(),
+        }
+        counts = count_dpvnet(plan.dpvnet, actions.get)
+        assert not plan.holds(counts[plan.root_nodes["S"]])

@@ -1,0 +1,141 @@
+"""Unit tests for task decomposition (§4.2)."""
+
+import pytest
+
+from repro.planner import PlannerError, plan_invariant
+from repro.spec import library
+from repro.spec.ast import (
+    And,
+    CountExpr,
+    Equal,
+    Exist,
+    Invariant,
+    Match,
+    PathExp,
+)
+from repro.topology.generators import paper_example
+
+
+@pytest.fixture()
+def topology():
+    return paper_example()
+
+
+@pytest.fixture()
+def packets(dst_factory):
+    return dst_factory.dst_prefix("10.0.0.0/23")
+
+
+class TestDecomposition:
+    def test_every_dpvnet_node_has_a_task(self, packets, topology):
+        plan = plan_invariant(
+            library.waypoint_reachability(packets, "S", "W", "D"), topology
+        )
+        task_node_ids = {
+            task.node_id
+            for device_task in plan.device_tasks.values()
+            for task in device_task.nodes
+        }
+        assert task_node_ids == set(plan.dpvnet.nodes)
+
+    def test_tasks_live_on_their_device(self, packets, topology):
+        plan = plan_invariant(
+            library.waypoint_reachability(packets, "S", "W", "D"), topology
+        )
+        for device, device_task in plan.device_tasks.items():
+            assert all(task.dev == device for task in device_task.nodes)
+
+    def test_children_and_parents_are_inverse(self, packets, topology):
+        plan = plan_invariant(
+            library.waypoint_reachability(packets, "S", "W", "D"), topology
+        )
+        tasks = {
+            task.node_id: task
+            for device_task in plan.device_tasks.values()
+            for task in device_task.nodes
+        }
+        for task in tasks.values():
+            for (child_id, child_dev, _) in task.children:
+                child = tasks[child_id]
+                assert (task.node_id, task.dev) in child.parents
+
+    def test_root_marked(self, packets, topology):
+        plan = plan_invariant(
+            library.waypoint_reachability(packets, "S", "W", "D"), topology
+        )
+        root_id = plan.root_nodes["S"]
+        root_task = next(
+            task
+            for task in plan.device_tasks["S"].nodes
+            if task.node_id == root_id
+        )
+        assert root_task.is_root_for == ("S",)
+
+    def test_downstream_devices_scene_filter(self, packets, topology):
+        from repro.topology.graph import FaultScene
+
+        invariant = Invariant(
+            packets,
+            ("S",),
+            Match(Exist(CountExpr(">=", 1)), PathExp("S .* D", loop_free=True)),
+            fault_scenes=(FaultScene([("B", "D")]),),
+        )
+        plan = plan_invariant(invariant, topology)
+        b_tasks = plan.device_tasks["B"].nodes
+        # In the failure scene, no B node may list D downstream.
+        for task in b_tasks:
+            assert "D" not in task.downstream_devices(1)
+
+
+class TestModes:
+    def test_single_exist_is_minimal(self, packets, topology):
+        plan = plan_invariant(library.reachability(packets, "S", "D"), topology)
+        assert plan.mode == "minimal"
+        assert plan.count_exprs == (CountExpr(">=", 1),)
+
+    def test_compound_is_full(self, packets, topology):
+        plan = plan_invariant(library.multicast(packets, "S", ["B", "D"]), topology)
+        assert plan.mode == "full"
+        assert plan.dim == 2
+
+    def test_equal_is_local(self, packets, topology):
+        plan = plan_invariant(
+            library.all_shortest_path_availability(packets, "S", "D"), topology
+        )
+        assert plan.mode == "local"
+
+    def test_mixed_equal_exist_rejected(self, packets, topology):
+        invariant = Invariant(
+            packets,
+            ("S",),
+            And(
+                Match(Equal(), PathExp("S .* D")),
+                Match(Exist(CountExpr(">=", 1)), PathExp("S .* D")),
+            ),
+        )
+        with pytest.raises(PlannerError):
+            plan_invariant(invariant, topology)
+
+
+class TestEvaluator:
+    def test_single_atom(self, packets, topology):
+        plan = plan_invariant(library.reachability(packets, "S", "D"), topology)
+        assert plan.universe_satisfies((1,))
+        assert not plan.universe_satisfies((0,))
+
+    def test_negation(self, packets, topology):
+        from repro.spec.ast import Not
+
+        invariant = Invariant(
+            packets,
+            ("S",),
+            Not(Match(Exist(CountExpr(">=", 1)), PathExp("S .* D"))),
+        )
+        plan = plan_invariant(invariant, topology)
+        assert plan.universe_satisfies((0,))
+        assert not plan.universe_satisfies((1,))
+
+    def test_holds_over_universes(self, packets, topology):
+        plan = plan_invariant(library.reachability(packets, "S", "D"), topology)
+        assert plan.holds({(1,), (2,)})
+        assert not plan.holds({(1,), (0,)})

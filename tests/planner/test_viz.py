@@ -1,0 +1,59 @@
+"""Tests for the DOT exporter."""
+
+from repro.planner.dpvnet import build_dpvnet
+from repro.planner.viz import dpvnet_to_dot, write_dot
+from repro.spec.ast import PathExp
+from repro.topology.generators import paper_example
+from repro.topology.graph import FaultScene
+
+
+def make_net(scenes=()):
+    return build_dpvnet(
+        paper_example(),
+        [PathExp("S .* W .* D", loop_free=True)],
+        ["S"],
+        scenes=scenes,
+    )
+
+
+def test_dot_structure():
+    net = make_net()
+    dot = dpvnet_to_dot(net, title="figure 2c")
+    assert dot.startswith("digraph dpvnet {")
+    assert dot.rstrip().endswith("}")
+    assert 'label="figure 2c"' in dot
+    # one node statement per DPVNet node
+    assert dot.count("shape=") == net.num_nodes
+    # exactly one accepting node rendered doubled
+    assert dot.count("doublecircle") == 1
+    # one edge statement per DPVNet edge
+    assert dot.count("->") == net.num_edges
+
+
+def test_root_highlighted():
+    net = make_net()
+    dot = dpvnet_to_dot(net)
+    root_id = net.roots["S"].node_id
+    root_line = next(
+        line for line in dot.splitlines() if line.strip().startswith(f'"{root_id}"')
+        and "shape=" in line
+    )
+    assert "fillcolor" in root_line
+
+
+def test_labels_shown_for_fault_tolerant():
+    net = make_net(scenes=[FaultScene([("B", "D")])])
+    dot = dpvnet_to_dot(net)
+    assert "r0s0" in dot  # scene-0 labels on edges
+
+
+def test_labels_hidden_for_plain():
+    net = make_net()
+    assert "r0s0" not in dpvnet_to_dot(net)
+
+
+def test_write_dot(tmp_path):
+    net = make_net()
+    path = tmp_path / "net.dot"
+    write_dot(net, str(path), title="t")
+    assert path.read_text().startswith("digraph")

@@ -1,0 +1,103 @@
+"""Incremental deployment: off-device (proxy) verifiers (§7)."""
+
+import pytest
+
+from repro.dataplane.actions import Drop
+from repro.dataplane.routes import PRIORITY_ERROR, RouteConfig, install_routes
+from repro.packetspace.fields import DSTIP_ONLY_LAYOUT
+from repro.packetspace.predicate import PredicateFactory
+from repro.planner import plan_invariant
+from repro.simulator.network import SimulatedNetwork
+from repro.spec import library
+from repro.topology.generators import paper_example
+
+
+@pytest.fixture()
+def setting():
+    factory = PredicateFactory(DSTIP_ONLY_LAYOUT)
+    topology = paper_example()
+    fibs = install_routes(topology, factory, RouteConfig(ecmp="any"))
+    packets = factory.dst_prefix("10.0.0.0/23")
+    plan = plan_invariant(
+        library.bounded_reachability(packets, "S", "D", 2), topology
+    )
+    return factory, topology, fibs, packets, plan
+
+
+class TestProxiedVerifiers:
+    def test_same_verdicts_as_on_device(self, setting):
+        factory, topology, fibs, packets, plan = setting
+        # Verifiers for B and W run off-device on A (e.g. a VM beside A).
+        network = SimulatedNetwork(
+            topology,
+            fibs,
+            factory,
+            verifier_hosts={"B": "A", "W": "A"},
+        )
+        network.install_plan("p", plan)
+        assert network.holds("p")
+
+    def test_rcdc_layout_all_off_device(self, setting):
+        """RCDC as a special case: every verifier off-device on one host."""
+        factory, topology, fibs, packets, plan = setting
+        network = SimulatedNetwork(
+            topology,
+            fibs,
+            factory,
+            verifier_hosts={device: "A" for device in topology.devices},
+        )
+        network.install_plan("p", plan)
+        assert network.holds("p")
+
+    def test_incremental_update_detected_via_proxy(self, setting):
+        factory, topology, fibs, packets, plan = setting
+        network = SimulatedNetwork(
+            topology, fibs, factory, verifier_hosts={"B": "A", "W": "A"}
+        )
+        network.install_plan("p", plan)
+        network.fib_update(
+            "B",
+            lambda: fibs["B"].insert(PRIORITY_ERROR, packets, Drop(), label="x"),
+        )
+        network.fib_update(
+            "W",
+            lambda: fibs["W"].insert(PRIORITY_ERROR, packets, Drop(), label="x"),
+        )
+        assert not network.holds("p")
+
+    def test_proxied_update_pays_collection_latency(self, setting):
+        """A proxied device's rule update travels to the host first."""
+        factory, topology, fibs, packets, plan = setting
+        big_latency = 0.05
+        slow = paper_example(latency=big_latency)
+        slow_fibs = install_routes(slow, factory, RouteConfig(ecmp="any"))
+        slow_plan = plan_invariant(
+            library.bounded_reachability(packets, "S", "D", 2), slow
+        )
+        proxied = SimulatedNetwork(
+            slow, slow_fibs, factory, verifier_hosts={"B": "S"}
+        )
+        proxied.install_plan("p", slow_plan)
+        elapsed = proxied.fib_update(
+            "B",
+            lambda: slow_fibs["B"].insert(
+                PRIORITY_ERROR, packets, Drop(), label="x"
+            ),
+        )
+        # B -> S is two hops of 50 ms each at minimum.
+        assert elapsed >= 2 * big_latency
+
+    def test_unknown_host_rejected(self, setting):
+        factory, topology, fibs, packets, plan = setting
+        with pytest.raises(ValueError):
+            SimulatedNetwork(
+                topology, fibs, factory, verifier_hosts={"B": "ZZZ"}
+            )
+
+    def test_host_of(self, setting):
+        factory, topology, fibs, _, _ = setting
+        network = SimulatedNetwork(
+            topology, fibs, factory, verifier_hosts={"B": "A"}
+        )
+        assert network.host_of("B") == "A"
+        assert network.host_of("S") == "S"

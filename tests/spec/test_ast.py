@@ -1,0 +1,165 @@
+"""Unit tests for the invariant AST."""
+
+import pytest
+
+from repro.spec.ast import (
+    SHORTEST,
+    And,
+    CountExpr,
+    Equal,
+    Exist,
+    Invariant,
+    LengthFilter,
+    Match,
+    Not,
+    Or,
+    PathExp,
+    subset_behavior,
+)
+
+
+class TestLengthFilter:
+    def test_concrete_bound(self):
+        assert LengthFilter("<=", 5).bound(None) == 5
+
+    def test_symbolic_bound(self):
+        assert LengthFilter("<=", SHORTEST, 2).bound(3) == 5
+
+    def test_symbolic_without_shortest_raises(self):
+        with pytest.raises(ValueError):
+            LengthFilter("<=", SHORTEST).bound(None)
+
+    @pytest.mark.parametrize(
+        "op,hops,expected",
+        [
+            ("==", 3, True),
+            ("==", 4, False),
+            ("<=", 3, True),
+            ("<=", 4, False),
+            ("<", 3, False),
+            (">=", 3, True),
+            (">", 3, False),
+            (">", 4, True),
+        ],
+    )
+    def test_admits(self, op, hops, expected):
+        assert LengthFilter(op, 3).admits(hops, None) is expected
+
+    def test_max_hops(self):
+        assert LengthFilter("<=", 4).max_hops(None) == 4
+        assert LengthFilter("<", 4).max_hops(None) == 3
+        assert LengthFilter("==", 4).max_hops(None) == 4
+        assert LengthFilter(">=", 4).max_hops(None) is None
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            LengthFilter("!=", 3)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            LengthFilter("<=", "longest")
+
+
+class TestCountExpr:
+    @pytest.mark.parametrize(
+        "op,value,count,expected",
+        [
+            (">=", 1, 1, True),
+            (">=", 1, 0, False),
+            ("==", 0, 0, True),
+            ("==", 0, 2, False),
+            ("<", 2, 1, True),
+            ("<=", 2, 3, False),
+            (">", 0, 1, True),
+        ],
+    )
+    def test_satisfied_by(self, op, value, count, expected):
+        assert CountExpr(op, value).satisfied_by(count) is expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CountExpr(">=", -1)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            CountExpr("~", 1)
+
+
+class TestPathExp:
+    def test_effective_loop_free_from_field(self):
+        assert PathExp("S.*D", loop_free=True).effective_loop_free
+
+    def test_effective_loop_free_inline(self):
+        assert PathExp("S.*D and loop_free").effective_loop_free
+
+    def test_not_loop_free(self):
+        assert not PathExp("S.*D").effective_loop_free
+
+    def test_has_symbolic_filter(self):
+        symbolic = PathExp("S.*D", (LengthFilter("<=", SHORTEST, 1),))
+        concrete = PathExp("S.*D", (LengthFilter("<=", 5),))
+        assert symbolic.has_symbolic_filter
+        assert not concrete.has_symbolic_filter
+
+    def test_max_hops_tightest(self):
+        path = PathExp(
+            "S.*D", (LengthFilter("<=", 7), LengthFilter("<", 5))
+        )
+        assert path.max_hops(None) == 4
+
+    def test_admits_length_conjunction(self):
+        path = PathExp(
+            "S.*D", (LengthFilter(">=", 2), LengthFilter("<=", 4))
+        )
+        assert path.admits_length(3, None)
+        assert not path.admits_length(1, None)
+        assert not path.admits_length(5, None)
+
+    def test_compile_strips_loop_free(self):
+        dfa = PathExp("S.*D and loop_free").compile()
+        assert dfa.accepts(["S", "D"])
+
+
+class TestBehaviors:
+    def test_atoms_collects_in_order(self):
+        a = Match(Exist(CountExpr(">=", 1)), PathExp("S.*D"))
+        b = Match(Exist(CountExpr("==", 0)), PathExp("S.*E"))
+        c = Match(Equal(), PathExp("S.*F"))
+        behavior = Or(And(a, b), Not(c))
+        assert behavior.atoms() == (a, b, c)
+
+    def test_subset_desugars(self):
+        behavior = subset_behavior(PathExp("S.*D"))
+        atoms = behavior.atoms()
+        assert len(atoms) == 2
+        assert atoms[0].op == Exist(CountExpr(">=", 1))
+        assert atoms[1].op == Exist(CountExpr("==", 0))
+        assert "not" in atoms[1].path.regex
+
+
+class TestInvariant:
+    def test_requires_ingress(self, factory):
+        with pytest.raises(ValueError):
+            Invariant(
+                factory.all_packets(),
+                (),
+                Match(Exist(CountExpr(">=", 1)), PathExp("S.*D")),
+            )
+
+    def test_rejects_empty_packet_space(self, factory):
+        with pytest.raises(ValueError):
+            Invariant(
+                factory.empty(),
+                ("S",),
+                Match(Exist(CountExpr(">=", 1)), PathExp("S.*D")),
+            )
+
+    def test_str_is_readable(self, factory):
+        invariant = Invariant(
+            factory.all_packets(),
+            ("S",),
+            Match(Exist(CountExpr(">=", 1)), PathExp("S.*D")),
+            name="reach",
+        )
+        assert "reach" in str(invariant)
+        assert "exist >= 1" in str(invariant)

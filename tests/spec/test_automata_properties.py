@@ -1,0 +1,108 @@
+"""Property-based tests: DFA compilation agrees with a reference matcher.
+
+Random regex ASTs over a 3-device alphabet are compiled to DFAs and
+compared against a straightforward recursive matcher on random words.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.automata import (
+    Alt,
+    AnySym,
+    Concat,
+    Epsilon,
+    Star,
+    Sym,
+    compile_regex,
+)
+
+ALPHABET = ("A", "B", "C")
+
+
+def regex_asts():
+    leaves = st.one_of(
+        st.sampled_from([Sym(device) for device in ALPHABET]),
+        st.just(AnySym()),
+        st.just(Epsilon()),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda a, b: Concat([a, b]), children, children),
+            st.builds(lambda a, b: Alt([a, b]), children, children),
+            st.builds(Star, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+def matches(node, word):
+    """Reference matcher via position sets."""
+    if isinstance(node, Sym):
+        return len(word) == 1 and word[0] == node.device
+    if isinstance(node, AnySym):
+        return len(word) == 1
+    if isinstance(node, Epsilon):
+        return len(word) == 0
+    if isinstance(node, Concat):
+        first, rest = node.parts[0], node.parts[1:]
+        tail = Concat(rest) if len(rest) > 1 else (rest[0] if rest else Epsilon())
+        return any(
+            matches(first, word[:split]) and matches(tail, word[split:])
+            for split in range(len(word) + 1)
+        )
+    if isinstance(node, Alt):
+        return any(matches(option, word) for option in node.options)
+    if isinstance(node, Star):
+        if not word:
+            return True
+        return any(
+            matches(node.inner, word[:split]) and matches(node, word[split:])
+            for split in range(1, len(word) + 1)
+        )
+    raise TypeError(node)
+
+
+@settings(max_examples=150, deadline=None)
+@given(regex_asts(), st.lists(st.sampled_from(ALPHABET), max_size=5))
+def test_dfa_agrees_with_reference(ast, word):
+    dfa = compile_regex(ast, extra_symbols=ALPHABET)
+    assert dfa.accepts(word) == matches(ast, word)
+
+
+@settings(max_examples=100, deadline=None)
+@given(regex_asts(), st.lists(st.sampled_from(ALPHABET), max_size=5))
+def test_complement_flips_acceptance(ast, word):
+    dfa = compile_regex(ast, extra_symbols=ALPHABET)
+    assert dfa.complement().accepts(word) == (not dfa.accepts(word))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    regex_asts(),
+    regex_asts(),
+    st.lists(st.sampled_from(ALPHABET), max_size=5),
+)
+def test_product_constructions(left, right, word):
+    dfa_left = compile_regex(left, extra_symbols=ALPHABET)
+    dfa_right = compile_regex(right, extra_symbols=ALPHABET)
+    assert dfa_left.intersect(dfa_right).accepts(word) == (
+        dfa_left.accepts(word) and dfa_right.accepts(word)
+    )
+    assert dfa_left.union_dfa(dfa_right).accepts(word) == (
+        dfa_left.accepts(word) or dfa_right.accepts(word)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(regex_asts())
+def test_minimization_preserves_language(ast):
+    dfa = compile_regex(ast, extra_symbols=ALPHABET)
+    minimized = dfa.minimize()
+    assert minimized.num_states <= dfa.num_states
+    import itertools
+
+    for length in range(4):
+        for word in itertools.product(ALPHABET, repeat=length):
+            assert dfa.accepts(word) == minimized.accepts(word)

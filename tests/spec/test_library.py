@@ -1,0 +1,125 @@
+"""Table 1: every invariant family is expressible and plans correctly."""
+
+import pytest
+
+from repro.planner import plan_invariant
+from repro.spec import library
+from repro.spec.ast import Equal, Exist
+from repro.topology.generators import paper_example
+
+
+@pytest.fixture()
+def packets(dst_factory):
+    return dst_factory.dst_prefix("10.0.0.0/23")
+
+
+@pytest.fixture()
+def topology():
+    return paper_example()
+
+
+class TestTable1Constructors:
+    def test_reachability(self, packets):
+        invariant = library.reachability(packets, "S", "D")
+        atom = invariant.atoms()[0]
+        assert atom.op == Exist(library.CountExpr(">=", 1))
+        assert atom.path.regex == "S .* D"
+
+    def test_isolation(self, packets):
+        invariant = library.isolation(packets, "S", "D")
+        assert invariant.atoms()[0].op.count.op == "=="
+        assert invariant.atoms()[0].op.count.value == 0
+
+    def test_waypoint(self, packets):
+        invariant = library.waypoint_reachability(packets, "S", "W", "D")
+        assert "W" in invariant.atoms()[0].path.regex
+        assert invariant.atoms()[0].path.loop_free
+
+    def test_bounded_reachability_symbolic(self, packets):
+        invariant = library.bounded_reachability(packets, "S", "D", 2)
+        filt = invariant.atoms()[0].path.length_filters[0]
+        assert filt.is_symbolic
+        assert filt.delta == 2
+
+    def test_limited_length_concrete(self, packets):
+        invariant = library.limited_length_reachability(packets, "S", "D", 3)
+        filt = invariant.atoms()[0].path.length_filters[0]
+        assert not filt.is_symbolic
+        assert filt.base == 3
+
+    def test_different_ingress(self, packets):
+        invariant = library.different_ingress_same_reachability(
+            packets, ["S", "B"], "D"
+        )
+        assert invariant.ingress_set == ("S", "B")
+
+    def test_different_ingress_needs_two(self, packets):
+        with pytest.raises(ValueError):
+            library.different_ingress_same_reachability(packets, ["S"], "D")
+
+    def test_all_shortest_path(self, packets):
+        invariant = library.all_shortest_path_availability(packets, "S", "D")
+        assert isinstance(invariant.atoms()[0].op, Equal)
+
+    def test_non_redundant(self, packets):
+        invariant = library.non_redundant_reachability(packets, "S", "D")
+        assert invariant.atoms()[0].op.count == library.CountExpr("==", 1)
+
+    def test_multicast(self, packets):
+        invariant = library.multicast(packets, "S", ["B", "D"])
+        assert len(invariant.atoms()) == 2
+
+    def test_multicast_needs_two(self, packets):
+        with pytest.raises(ValueError):
+            library.multicast(packets, "S", ["D"])
+
+    def test_anycast(self, packets):
+        invariant = library.anycast(packets, "S", "B", "D")
+        assert len(invariant.atoms()) == 4
+
+    def test_loop_free_reachability(self, packets):
+        invariant = library.loop_free_reachability(packets, "S", "D")
+        assert invariant.atoms()[0].path.loop_free
+
+
+class TestTable1Plans:
+    """Every family must survive planning on the example network."""
+
+    def test_plannable_families(self, packets, topology):
+        invariants = [
+            library.reachability(packets, "S", "D"),
+            library.isolation(packets, "S", "D"),
+            library.waypoint_reachability(packets, "S", "W", "D"),
+            library.bounded_reachability(packets, "S", "D", 2),
+            library.limited_length_reachability(packets, "S", "D", 3),
+            library.different_ingress_same_reachability(packets, ["S", "B"], "D"),
+            library.all_shortest_path_availability(packets, "S", "D"),
+            library.non_redundant_reachability(packets, "S", "D"),
+            library.multicast(packets, "S", ["B", "D"]),
+            library.anycast(packets, "S", "B", "D"),
+            library.loop_free_reachability(packets, "S", "D"),
+        ]
+        for invariant in invariants:
+            plan = plan_invariant(invariant, topology)
+            assert plan.dpvnet.num_nodes > 0, invariant.name
+
+    def test_modes(self, packets, topology):
+        assert (
+            plan_invariant(library.reachability(packets, "S", "D"), topology).mode
+            == "minimal"
+        )
+        assert (
+            plan_invariant(
+                library.all_shortest_path_availability(packets, "S", "D"),
+                topology,
+            ).mode
+            == "local"
+        )
+        assert (
+            plan_invariant(library.anycast(packets, "S", "B", "D"), topology).mode
+            == "full"
+        )
+
+    def test_anycast_dimension(self, packets, topology):
+        plan = plan_invariant(library.anycast(packets, "S", "B", "D"), topology)
+        assert plan.dim == 4

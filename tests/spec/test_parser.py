@@ -1,0 +1,186 @@
+"""Unit tests for the invariant language parser."""
+
+import pytest
+
+from repro.spec.ast import Equal, Exist, Match, Or, SHORTEST
+from repro.spec.parser import (
+    AnyK,
+    InvariantSyntaxError,
+    expand_fault_scenes,
+    parse_invariant,
+)
+from repro.topology.graph import FaultScene
+from repro.topology.generators import paper_example
+
+
+class TestPacketSpace:
+    def test_dst_prefix(self, factory):
+        invariant = parse_invariant(
+            "(dstIP = 10.0.0.0/23, [S], (exist >= 1, S.*D))", factory
+        )
+        assert invariant.packet_space == factory.dst_prefix("10.0.0.0/23")
+
+    def test_host_address_gets_32(self, factory):
+        invariant = parse_invariant(
+            "(dstIP = 10.0.0.1, [S], (exist >= 1, S.*D))", factory
+        )
+        assert invariant.packet_space == factory.dst_prefix("10.0.0.1/32")
+
+    def test_conjunction(self, factory):
+        invariant = parse_invariant(
+            "(dstIP = 10.0.1.0/24 and dstPort = 80, [S], (exist >= 1, S.*D))",
+            factory,
+        )
+        expected = factory.dst_prefix("10.0.1.0/24") & factory.dst_port(80)
+        assert invariant.packet_space == expected
+
+    def test_negated_port(self, factory):
+        invariant = parse_invariant(
+            "(dstIP = 10.0.1.0/24 and dstPort != 80, [S], (exist >= 1, S.*D))",
+            factory,
+        )
+        expected = factory.dst_prefix("10.0.1.0/24") - factory.dst_port(80)
+        assert invariant.packet_space == expected
+
+    def test_star_is_everything(self, factory):
+        invariant = parse_invariant("(*, [S], (exist >= 1, S.*D))", factory)
+        assert invariant.packet_space.is_full
+
+    def test_unknown_field(self, factory):
+        with pytest.raises(InvariantSyntaxError):
+            parse_invariant("(ttl = 3, [S], (exist >= 1, S.*D))", factory)
+
+
+class TestIngress:
+    def test_single(self, factory):
+        invariant = parse_invariant("(*, [S], (exist >= 1, S.*D))", factory)
+        assert invariant.ingress_set == ("S",)
+
+    def test_multiple(self, factory):
+        invariant = parse_invariant(
+            "(*, [S, B, W], (exist >= 1, .*D))", factory
+        )
+        assert invariant.ingress_set == ("S", "B", "W")
+
+
+class TestBehavior:
+    def test_exist_ops(self, factory):
+        for op in ("==", ">=", ">", "<=", "<"):
+            invariant = parse_invariant(
+                f"(*, [S], (exist {op} 2, S.*D))", factory
+            )
+            atom = invariant.atoms()[0]
+            assert atom.op.count.op == op
+            assert atom.op.count.value == 2
+
+    def test_equal(self, factory):
+        invariant = parse_invariant(
+            "(*, [S], (equal, (S.*D, (== shortest))))", factory
+        )
+        atom = invariant.atoms()[0]
+        assert isinstance(atom.op, Equal)
+        assert atom.path.length_filters[0].base == SHORTEST
+
+    def test_subset_desugars(self, factory):
+        invariant = parse_invariant("(*, [S], (subset, S.*D))", factory)
+        assert len(invariant.atoms()) == 2
+
+    def test_boolean_structure(self, factory):
+        invariant = parse_invariant(
+            "(*, [S], ((exist >= 1, S.*D) or (exist == 0, S.*E)))", factory
+        )
+        assert isinstance(invariant.behavior, Or)
+
+    def test_negation(self, factory):
+        invariant = parse_invariant(
+            "(*, [S], not (exist >= 1, S.*D))", factory
+        )
+        from repro.spec.ast import Not
+
+        assert isinstance(invariant.behavior, Not)
+
+    def test_length_filter_after_comma(self, factory):
+        invariant = parse_invariant(
+            "(*, [S], (exist >= 1, S.*D, (<= shortest+2)))", factory
+        )
+        path = invariant.atoms()[0].path
+        assert path.length_filters[0].delta == 2
+
+    def test_negative_delta(self, factory):
+        invariant = parse_invariant(
+            "(*, [S], (exist >= 1, S.*D, (<= shortest-1)))", factory
+        )
+        assert invariant.atoms()[0].path.length_filters[0].delta == -1
+
+    def test_multiple_filters(self, factory):
+        invariant = parse_invariant(
+            "(*, [S], (exist >= 1, S.*D, (>= 2, <= 5)))", factory
+        )
+        assert len(invariant.atoms()[0].path.length_filters) == 2
+
+    def test_loop_free_keyword_propagates(self, factory):
+        invariant = parse_invariant(
+            "(*, [S], (exist >= 1, S.*D and loop_free))", factory
+        )
+        assert invariant.atoms()[0].path.effective_loop_free
+
+
+class TestFaultScenes:
+    def test_explicit_scenes(self, factory):
+        invariant = parse_invariant(
+            "(*, [S], (exist >= 1, S.*D), ({(A,B)}, {(B,W), (B,D)}))",
+            factory,
+        )
+        assert invariant.fault_scenes == (
+            FaultScene([("A", "B")]),
+            FaultScene([("B", "W"), ("B", "D")]),
+        )
+
+    def test_any_two(self, factory):
+        invariant = parse_invariant(
+            "(*, [S], (exist >= 1, S.*D), any_two)", factory
+        )
+        assert isinstance(invariant.fault_scenes[0], AnyK)
+        assert invariant.fault_scenes[0].k == 2
+
+    def test_any_k(self, factory):
+        invariant = parse_invariant(
+            "(*, [S], (exist >= 1, S.*D), any_k(3))", factory
+        )
+        assert invariant.fault_scenes[0].k == 3
+
+    def test_expand_any_k(self, factory):
+        topology = paper_example()  # 6 links
+        scenes = expand_fault_scenes((AnyK(2),), topology)
+        # C(6,1) + C(6,2) = 6 + 15
+        assert len(scenes) == 21
+        assert all(1 <= len(scene) <= 2 for scene in scenes)
+
+    def test_expand_deduplicates(self, factory):
+        topology = paper_example()
+        scenes = expand_fault_scenes(
+            (FaultScene([("A", "B")]), FaultScene([("B", "A")])), topology
+        )
+        assert len(scenes) == 1
+
+    def test_expand_drops_empty(self, factory):
+        topology = paper_example()
+        scenes = expand_fault_scenes((FaultScene(),), topology)
+        assert scenes == ()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(*, [S])",
+            "(*, [S], (exist 1, S.*D))",
+            "(*, [S], (exist >= 1, ))",
+            "(*, [S], (exist >= 1, S.*D)) trailing",
+            "(*, , (exist >= 1, S.*D))",
+        ],
+    )
+    def test_rejected(self, factory, bad):
+        with pytest.raises(InvariantSyntaxError):
+            parse_invariant(bad, factory)

@@ -1,0 +1,126 @@
+"""Grammar-based fuzzing of the invariant parser.
+
+Random well-formed invariant programs are generated from the grammar;
+parsing must succeed and reflect the generated structure exactly, and
+parsing must be deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packetspace.fields import DEFAULT_LAYOUT
+from repro.packetspace.predicate import PredicateFactory
+from repro.spec.ast import And, Equal, Exist, Match, Not, Or
+from repro.spec.parser import parse_invariant
+
+DEVICES = ["S", "A", "B", "W", "D", "edge_0_1"]
+
+cmp_ops = st.sampled_from(["==", ">=", ">", "<=", "<"])
+
+
+@st.composite
+def packet_spaces(draw):
+    kind = draw(st.sampled_from(["star", "prefix", "conj"]))
+    if kind == "star":
+        return "*"
+    third = draw(st.integers(0, 255))
+    length = draw(st.sampled_from([8, 16, 24]))
+    prefix = f"dstIP = 10.{third}.0.0/{length}"
+    if kind == "prefix":
+        return prefix
+    port = draw(st.integers(0, 65535))
+    op = draw(st.sampled_from(["=", "!="]))
+    return f"{prefix} and dstPort {op} {port}"
+
+
+@st.composite
+def regexes(draw):
+    source = draw(st.sampled_from(DEVICES))
+    destination = draw(st.sampled_from(DEVICES))
+    middle = draw(
+        st.sampled_from(["", " .* ", " . ", " (!W)* ", " [A B]* "])
+    )
+    loop_free = draw(st.booleans())
+    text = f"{source}{middle or ' '}{destination}"
+    if loop_free:
+        text += " and loop_free"
+    return text
+
+
+@st.composite
+def matches(draw):
+    op = draw(cmp_ops)
+    value = draw(st.integers(0, 5))
+    regex = draw(regexes())
+    filters = draw(
+        st.sampled_from(["", ", (<= 5)", ", (<= shortest+2)", ", (== shortest)"])
+    )
+    return f"(exist {op} {value}, {regex}{filters})"
+
+
+@st.composite
+def behaviors(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        return draw(matches())
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        inner = draw(behaviors(depth=depth + 1))
+        return f"not {inner}"
+    left = draw(behaviors(depth=depth + 1))
+    right = draw(behaviors(depth=depth + 1))
+    return f"({left} {kind} {right})"
+
+
+@st.composite
+def invariants(draw):
+    space = draw(packet_spaces())
+    ingresses = draw(
+        st.lists(st.sampled_from(DEVICES), min_size=1, max_size=3, unique=True)
+    )
+    behavior = draw(behaviors())
+    return f"({space}, [{', '.join(ingresses)}], {behavior})", ingresses
+
+
+@settings(max_examples=200, deadline=None)
+@given(invariants())
+def test_generated_programs_parse(case):
+    source, ingresses = case
+    factory = PredicateFactory(DEFAULT_LAYOUT)
+    invariant = parse_invariant(source, factory)
+    assert invariant.ingress_set == tuple(ingresses)
+    assert invariant.atoms()
+    # every atom's path expression must compile to a DFA
+    for atom in invariant.atoms():
+        dfa = atom.path.compile()
+        assert dfa.num_states >= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(invariants())
+def test_parsing_is_deterministic(case):
+    source, _ = case
+    factory = PredicateFactory(DEFAULT_LAYOUT)
+    first = parse_invariant(source, factory)
+    second = parse_invariant(source, factory)
+    assert first.packet_space == second.packet_space
+    assert first.ingress_set == second.ingress_set
+    assert str(first.behavior) == str(second.behavior)
+
+
+@settings(max_examples=100, deadline=None)
+@given(invariants(), st.integers(0, 6))
+def test_truncated_programs_rejected(case, cut):
+    """Chopping the tail off a valid program must raise, not crash."""
+    import pytest
+
+    from repro.spec.parser import InvariantSyntaxError
+
+    source, _ = case
+    truncated = source[: len(source) - 1 - cut]
+    factory = PredicateFactory(DEFAULT_LAYOUT)
+    try:
+        parse_invariant(truncated, factory)
+    except InvariantSyntaxError:
+        pass  # expected
+    except ValueError:
+        pass  # e.g. an int() inside a now-malformed literal

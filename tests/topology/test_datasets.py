@@ -1,0 +1,83 @@
+"""Unit tests for the Figure 10 datasets."""
+
+import pytest
+
+from repro.topology.datasets import (
+    DATASETS,
+    FIGURE_ORDER,
+    WAN_LAN_ORDER,
+    dataset_statistics,
+    load_dataset,
+)
+
+
+class TestCatalog:
+    def test_thirteen_datasets(self):
+        assert len(DATASETS) == 13
+        assert len(FIGURE_ORDER) == 13
+        assert len(WAN_LAN_ORDER) == 11
+
+    def test_kinds(self):
+        assert DATASETS["FT-48"].kind == "DC"
+        assert DATASETS["NGDC"].kind == "DC"
+        assert DATASETS["STFD"].kind == "LAN"
+        assert DATASETS["INet2"].kind == "WAN"
+
+    def test_rule_scales_match_paper(self):
+        assert DATASETS["AT1-2"].rule_scale == pytest.approx(3.39)
+        assert DATASETS["AT2-2"].rule_scale == pytest.approx(11.97)
+
+    def test_paired_datasets_share_topology(self):
+        one = load_dataset("AT1-1")
+        two = load_dataset("AT1-2")
+        assert sorted(l.endpoints for l in one.links) == sorted(
+            l.endpoints for l in two.links
+        )
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", WAN_LAN_ORDER)
+    def test_wan_lan_shapes(self, name):
+        spec = DATASETS[name]
+        topology = load_dataset(name)
+        assert topology.num_devices == spec.num_devices
+        assert topology.num_links == spec.num_links
+        assert topology.is_connected()
+
+    def test_every_device_has_prefix_in_wans(self):
+        topology = load_dataset("B4-13")
+        assert len(topology.devices_with_prefixes()) == topology.num_devices
+
+    def test_lan_latency(self):
+        topology = load_dataset("STFD")
+        assert all(link.latency == pytest.approx(10e-6) for link in topology.links)
+
+    def test_wan_latency_in_ms_range(self):
+        topology = load_dataset("INet2")
+        assert all(1e-5 < link.latency < 0.1 for link in topology.links)
+
+    def test_dc_bench_scale(self):
+        ft = load_dataset("FT-48", "bench")
+        assert ft.num_devices == 80  # k=8 stand-in
+        ngdc = load_dataset("NGDC", "bench")
+        assert ngdc.is_connected()
+
+    def test_dc_tiny_scale(self):
+        assert load_dataset("FT-48", "tiny").num_devices == 20
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("NOPE")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("INet2", "huge")
+
+
+class TestStatistics:
+    def test_rows_in_figure_order(self):
+        rows = dataset_statistics()
+        assert [row["dataset"] for row in rows] == list(FIGURE_ORDER)
+        for row in rows:
+            assert row["devices"] > 0
+            assert row["links"] > 0

@@ -1,0 +1,33 @@
+"""Paper-scale dataset smoke tests (Figure 10's two DC entries)."""
+
+import pytest
+
+from repro.topology.datasets import load_dataset
+from repro.topology.generators import fattree, three_tier_clos
+
+
+class TestPaperScaleDc:
+    def test_ft48_shape(self):
+        """FT-48: 48-ary fattree = 2880 switches, 55296 links."""
+        topology = fattree(48)
+        # (k/2)^2 core + k*k/2 agg + k*k/2 edge
+        assert topology.num_devices == 24 * 24 + 48 * 24 * 2
+        assert topology.num_devices == 2880
+        assert topology.num_links == 55_296
+        assert len(topology.devices_with_prefixes()) == 48 * 24  # ToRs
+
+    def test_ft48_reachability_sample(self):
+        topology = fattree(48)
+        distances = topology.hop_distances("edge_0_0")
+        assert len(distances) == topology.num_devices  # connected
+        assert distances["edge_47_23"] == 4  # cross-pod via core
+
+    def test_ngdc_paper_scale(self):
+        topology = load_dataset("NGDC", scale="paper")
+        # 16 pods x (46 leaves + 16 spines) + 256 cores
+        assert topology.num_devices == 16 * (46 + 16) + 256
+        assert len(topology.devices_with_prefixes()) == 16 * 46
+
+    def test_paper_scale_flag(self):
+        topology = load_dataset("FT-48", scale="paper")
+        assert topology.num_devices == 2880
