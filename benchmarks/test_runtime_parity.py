@@ -1,0 +1,124 @@
+"""Runtime-vs-simulator parity on the INet2 burst workload.
+
+The same workload (identical factories, FIBs, plans, update streams,
+deterministically rebuilt per backend) runs once through the
+discrete-event simulator and once through the asyncio/TCP runtime.
+Asserted: verdict-for-verdict parity.  Reported (``benchmarks/out/``):
+wall-clock and message bytes side by side -- the simulator's burst time
+is simulated seconds, the runtime's is real seconds over real sockets.
+"""
+
+import time
+
+from conftest import write_table
+
+from repro.bench.reporting import format_seconds, print_table
+from repro.bench.runners import (
+    run_runtime_burst,
+    run_tulkun_burst,
+    run_tulkun_incremental,
+)
+from repro.bench.workloads import build_workload, random_rule_updates
+
+NUM_UPDATES = 10
+
+_RESULTS = {}
+
+
+def canonical_verdicts(verdicts):
+    return sorted(
+        (v.ingress, tuple(sorted(v.counts.tuples)), v.holds)
+        for v in verdicts
+    )
+
+
+def run_parity():
+    if "parity" not in _RESULTS:
+        # Each backend gets its own deterministic rebuild: predicates
+        # are only comparable within one factory, so parity is checked
+        # on canonical verdict tuples.
+        sim_workload = build_workload("INet2", max_destinations=3)
+        rt_workload = build_workload("INet2", max_destinations=3)
+
+        start = time.perf_counter()
+        sim_burst = run_tulkun_burst(sim_workload)
+        sim_updates = random_rule_updates(sim_workload, NUM_UPDATES, seed=92)
+        sim_inc = run_tulkun_incremental(
+            sim_workload, sim_updates, network=sim_burst.network
+        )
+        sim_wall = time.perf_counter() - start
+
+        rt_updates = random_rule_updates(rt_workload, NUM_UPDATES, seed=92)
+        runtime = run_runtime_burst(
+            rt_workload,
+            rt_updates,
+            keepalive_interval=0.2,
+            quiescence_grace=0.03,
+        )
+        _RESULTS["parity"] = (
+            sim_workload,
+            rt_workload,
+            sim_burst,
+            sim_inc,
+            sim_wall,
+            runtime,
+        )
+    return _RESULTS["parity"]
+
+
+def test_backends_reach_identical_verdicts(benchmark):
+    (
+        sim_workload,
+        rt_workload,
+        _sim_burst,
+        sim_inc,
+        _sim_wall,
+        runtime,
+    ) = benchmark.pedantic(run_parity, rounds=1, iterations=1)
+    network = sim_inc.network
+    assert runtime.holds, "runtime produced no verdicts"
+    for plan_id, _ in rt_workload.plans:
+        assert canonical_verdicts(runtime.verdicts[plan_id]) == (
+            canonical_verdicts(network.verdicts(plan_id))
+        ), f"verdict mismatch for {plan_id}"
+        assert runtime.holds[plan_id] == network.holds(plan_id)
+
+
+def test_report_wall_clock_and_bytes(benchmark, out_dir):
+    (
+        _sim_workload,
+        _rt_workload,
+        sim_burst,
+        sim_inc,
+        sim_wall,
+        runtime,
+    ) = benchmark.pedantic(run_parity, rounds=1, iterations=1)
+    rt_inc = runtime.incremental_seconds
+    rows = [
+        {
+            "backend": "simulator",
+            "burst": format_seconds(sim_burst.burst_seconds),
+            "incr mean": format_seconds(
+                sum(sim_inc.incremental_seconds)
+                / len(sim_inc.incremental_seconds)
+            ),
+            "wall clock": format_seconds(sim_wall),
+            "messages": sim_inc.messages,
+            "msg bytes": sim_inc.bytes,
+        },
+        {
+            "backend": "runtime (TCP)",
+            "burst": format_seconds(runtime.burst_seconds),
+            "incr mean": format_seconds(sum(rt_inc) / len(rt_inc)),
+            "wall clock": format_seconds(runtime.wall_seconds),
+            "messages": runtime.messages,
+            "msg bytes": runtime.bytes,
+        },
+    ]
+    text = print_table(
+        "Runtime vs simulator: INet2 burst + incremental parity", rows
+    )
+    write_table(out_dir, "runtime_parity.txt", text)
+    # Both backends moved real counting traffic.
+    assert runtime.messages > 0 and sim_inc.messages > 0
+    assert runtime.bytes > 0

@@ -4,8 +4,9 @@ One module per concern:
 
 * :mod:`repro.bench.workloads` -- invariant sets, rule-update streams,
   error injection and fault scenes for each dataset;
-* :mod:`repro.bench.runners` -- drive Tulkun (simulated) and the
-  centralized baselines over a workload and collect timings;
+* :mod:`repro.bench.runners` -- drive Tulkun (simulated or on the
+  asyncio/TCP testbed runtime) and the centralized baselines over a
+  workload and collect timings;
 * :mod:`repro.bench.reporting` -- print the rows/series each paper
   figure reports (acceleration ratios, <10 ms percentages, quantiles,
   CDFs).
@@ -19,9 +20,11 @@ from repro.bench.workloads import (
 )
 from repro.bench.runners import (
     BaselineTiming,
+    RuntimeTiming,
     TulkunTiming,
     run_baseline_burst,
     run_baseline_incremental,
+    run_runtime_burst,
     run_tulkun_burst,
     run_tulkun_incremental,
 )
@@ -33,8 +36,10 @@ __all__ = [
     "random_fault_scenes",
     "TulkunTiming",
     "BaselineTiming",
+    "RuntimeTiming",
     "run_tulkun_burst",
     "run_tulkun_incremental",
+    "run_runtime_burst",
     "run_baseline_burst",
     "run_baseline_incremental",
 ]

@@ -84,6 +84,74 @@ def run_tulkun_incremental(
     return timing
 
 
+@dataclass
+class RuntimeTiming:
+    """Timings of one runtime (testbed-mode) run over a workload.
+
+    Unlike :class:`TulkunTiming`, convergence times here are *real wall
+    clock* over real localhost TCP sockets, and message/byte counts are
+    frames actually written to the wire.
+    """
+
+    burst_seconds: float = 0.0
+    incremental_seconds: List[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    messages: int = 0
+    bytes: int = 0
+    holds: Dict[str, bool] = field(default_factory=dict)
+    verdicts: Dict[str, list] = field(default_factory=dict)
+    metrics: Optional[object] = None  # repro.runtime.ClusterMetrics
+
+
+def run_runtime_burst(
+    workload: Workload,
+    updates: Sequence[RuleUpdate] = (),
+    **cluster_options,
+) -> RuntimeTiming:
+    """Burst + incremental updates on the asyncio/TCP runtime backend.
+
+    The runtime counterpart of :func:`run_tulkun_burst` followed by
+    :func:`run_tulkun_incremental`: boots one verifier agent per device
+    over localhost TCP, installs every plan as one burst, then applies
+    ``updates`` one at a time, recording per-operation convergence.
+    """
+    import asyncio
+
+    from repro.runtime.cluster import RuntimeCluster
+
+    async def drive() -> RuntimeTiming:
+        cluster = RuntimeCluster(
+            workload.topology,
+            workload.fibs,
+            workload.factory,
+            **cluster_options,
+        )
+        await cluster.start()
+        try:
+            timing = RuntimeTiming()
+            timing.burst_seconds = await cluster.install_plans(
+                dict(workload.plans)
+            )
+            for update in updates:
+                timing.incremental_seconds.append(
+                    await cluster.fib_update(update.device, update.apply)
+                )
+            for plan_id, _ in workload.plans:
+                timing.holds[plan_id] = cluster.holds(plan_id)
+                timing.verdicts[plan_id] = cluster.verdicts(plan_id)
+            timing.messages = cluster.metrics.total_messages
+            timing.bytes = cluster.metrics.total_bytes
+            timing.metrics = cluster.metrics
+            return timing
+        finally:
+            await cluster.stop()
+
+    start = _time.perf_counter()
+    timing = asyncio.run(drive())
+    timing.wall_seconds = _time.perf_counter() - start
+    return timing
+
+
 def run_baseline_burst(
     verifier_cls: Type[CentralizedVerifier],
     workload: Workload,

@@ -6,6 +6,10 @@ Commands:
 * ``datasets``  -- print the Figure 10 dataset statistics table.
 * ``verify``    -- verify an invariant on a built-in dataset or a JSON
   topology + data plane (see :mod:`repro.io` for the formats).
+* ``testbed``   -- boot a dataset on the asyncio/TCP runtime backend
+  (one verifier agent per device over real localhost sockets), verify
+  reachability, inject a rule update, a link failure and a forced
+  connection drop, and print per-device traffic metrics.
 
 Examples::
 
@@ -16,6 +20,7 @@ Examples::
                       (exist >= 1, INet2-r1.*INet2-r0 and loop_free))"
     python -m repro verify --topology net.json --fibs rules.json \
         --invariant "(*, [S], (exist >= 1, S.*D))"
+    python -m repro testbed --dataset inet2
 """
 
 from __future__ import annotations
@@ -27,6 +32,20 @@ from typing import List, Optional
 from repro.core import Tulkun
 from repro.dataplane.routes import RouteConfig, install_routes
 from repro.packetspace.fields import DSTIP_ONLY_LAYOUT
+
+
+def _resolve_dataset(name: str) -> str:
+    """Map a dataset name to its canonical spelling (case-insensitive)."""
+    from repro.topology.datasets import DATASETS
+
+    if name in DATASETS:
+        return name
+    lowered = {key.lower(): key for key in DATASETS}
+    if name.lower() in lowered:
+        return lowered[name.lower()]
+    raise KeyError(
+        f"unknown dataset {name!r}; known: {sorted(DATASETS)}"
+    )
 
 
 def _cmd_demo(_: argparse.Namespace) -> int:
@@ -68,7 +87,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.dataset:
         from repro.topology.datasets import load_dataset
 
-        topology = load_dataset(args.dataset)
+        try:
+            topology = load_dataset(_resolve_dataset(args.dataset))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
         tulkun = Tulkun(topology, layout=DSTIP_ONLY_LAYOUT)
         fibs = install_routes(
             topology, tulkun.factory, RouteConfig(ecmp=args.ecmp)
@@ -101,6 +124,92 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.holds else 1
 
 
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    """Boot a dataset on the runtime backend and exercise its dynamics."""
+    from repro.bench.reporting import print_table
+    from repro.bench.workloads import reachability_invariant
+    from repro.topology.datasets import load_dataset
+
+    try:
+        name = _resolve_dataset(args.dataset)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.destinations < 1:
+        print("--destinations must be at least 1", file=sys.stderr)
+        return 2
+    topology = load_dataset(name, scale=args.scale)
+    tulkun = Tulkun(topology, layout=DSTIP_ONLY_LAYOUT)
+    fibs = install_routes(
+        topology, tulkun.factory, RouteConfig(ecmp=args.ecmp)
+    )
+    owners = list(topology.devices_with_prefixes())[: args.destinations]
+    if not owners:
+        print(f"dataset {name} has no destination prefixes", file=sys.stderr)
+        return 2
+
+    print(
+        f"booting {name}: {topology.num_devices} verifier agents over "
+        "localhost TCP ..."
+    )
+    with tulkun.deploy(
+        fibs,
+        backend="runtime",
+        keepalive_interval=args.keepalive,
+        op_timeout=args.timeout,
+    ) as deployment:
+        plan_ids = []
+        for destination in owners:
+            for cidr in topology.external_prefixes(destination):
+                invariant = reachability_invariant(
+                    tulkun.factory,
+                    topology,
+                    destination,
+                    cidr,
+                    [d for d in topology.devices if d != destination],
+                )
+                report = deployment.verify(invariant)
+                plan_ids.append(max(deployment.plans))
+                print(f"  {report}  [{report.message_bytes} wire bytes]")
+
+        link = next(iter(topology.links))
+        a, b = link.a, link.b
+        print(f"failing link {a} -- {b} (TCP sessions cut) ...")
+        seconds = deployment.fail_link(a, b)
+        degraded = sum(
+            1 for p in plan_ids if not deployment.holds(p)
+        )
+        print(
+            f"  reconverged in {seconds * 1e3:.1f} ms; "
+            f"{degraded}/{len(plan_ids)} invariants degraded"
+        )
+        print(f"recovering link {a} -- {b} ...")
+        seconds = deployment.recover_link(a, b)
+        healthy = sum(1 for p in plan_ids if deployment.holds(p))
+        print(
+            f"  reconverged in {seconds * 1e3:.1f} ms; "
+            f"{healthy}/{len(plan_ids)} invariants hold"
+        )
+        print(
+            f"forcing a connection drop on {a} -- {b} "
+            "(dead-peer detection + backoff-reconnect) ..."
+        )
+        seconds = deployment.drop_connection(a, b, hold_down=args.hold_down)
+        healthy = sum(1 for p in plan_ids if deployment.holds(p))
+        print(
+            f"  session re-established and reconverged in "
+            f"{seconds * 1e3:.1f} ms; {healthy}/{len(plan_ids)} "
+            "invariants hold"
+        )
+        print_table(
+            f"{name}: per-device runtime metrics",
+            deployment.metrics_rows(),
+        )
+        reconnects = deployment.metrics.total_reconnects
+        print(f"total reconnects: {reconnects}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -124,6 +233,52 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--invariant", required=True, help="invariant program (§3 syntax)"
     )
+
+    testbed = commands.add_parser(
+        "testbed",
+        help="run a dataset on the asyncio/TCP runtime backend",
+    )
+    testbed.add_argument(
+        "--dataset",
+        default="INet2",
+        help="built-in dataset name, case-insensitive (default: INet2)",
+    )
+    testbed.add_argument(
+        "--scale",
+        default="bench",
+        choices=("paper", "bench", "tiny"),
+        help="dataset scale (default: bench)",
+    )
+    testbed.add_argument(
+        "--ecmp",
+        default="any",
+        choices=("any", "single", "all"),
+        help="route generation mode (default: any)",
+    )
+    testbed.add_argument(
+        "--destinations",
+        type=int,
+        default=3,
+        help="number of destination devices to verify (default: 3)",
+    )
+    testbed.add_argument(
+        "--keepalive",
+        type=float,
+        default=0.2,
+        help="session keepalive interval in seconds (default: 0.2)",
+    )
+    testbed.add_argument(
+        "--hold-down",
+        type=float,
+        default=0.2,
+        help="redial hold-down after the forced drop (default: 0.2)",
+    )
+    testbed.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-operation convergence deadline in seconds (default: 60)",
+    )
     return parser
 
 
@@ -133,6 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "datasets": _cmd_datasets,
         "verify": _cmd_verify,
+        "testbed": _cmd_testbed,
     }
     return handlers[args.command](args)
 

@@ -44,7 +44,7 @@ class Report:
         status = "HOLDS" if self.holds else "VIOLATED"
         return (
             f"Report({self.invariant.name!r}: {status}, "
-            f"{self.verification_seconds * 1e3:.3f} ms simulated, "
+            f"{self.verification_seconds * 1e3:.3f} ms to converge, "
             f"{self.message_count} msgs)"
         )
 
@@ -104,11 +104,35 @@ class Tulkun:
         profile: DeviceProfile = DeviceProfile(),
         profiles: Optional[Dict[str, DeviceProfile]] = None,
         strict_wire: bool = False,
+        backend: str = "sim",
+        **runtime_options,
     ) -> "Deployment":
-        """Create on-device verifiers over ``fibs`` in the simulator."""
+        """Create on-device verifiers over ``fibs``.
+
+        ``backend="sim"`` (default) runs them in the discrete-event
+        simulator; ``backend="runtime"`` deploys them as concurrent
+        asyncio agents over real localhost TCP sockets (testbed mode,
+        §9.2) and accepts :class:`~repro.runtime.cluster.RuntimeCluster`
+        keyword options (``keepalive_interval``, ``backoff``, ...).
+        Runtime deployments hold sockets and a background thread: close
+        them (``with`` statement or ``.close()``) when done.
+        """
         missing = [d for d in self.topology.devices if d not in fibs]
         if missing:
             raise TulkunError(f"missing FIBs for devices: {missing}")
+        if backend == "runtime":
+            from repro.runtime.deployment import RuntimeDeployment
+
+            return RuntimeDeployment(self, fibs, **runtime_options)
+        if backend != "sim":
+            raise TulkunError(
+                f"unknown backend {backend!r} (expected 'sim' or 'runtime')"
+            )
+        if runtime_options:
+            raise TulkunError(
+                "runtime options "
+                f"{sorted(runtime_options)} require backend='runtime'"
+            )
         network = SimulatedNetwork(
             self.topology,
             fibs,
@@ -127,6 +151,16 @@ class Deployment:
         self.tulkun = tulkun
         self.network = network
         self.plans: Dict[str, Plan] = {}
+
+    def close(self) -> None:
+        """No-op; API parity with the runtime backend (which holds
+        sockets and a loop thread that must be released)."""
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- verification ----------------------------------------------------------
 

@@ -16,7 +16,9 @@ from repro.dvm.messages import (
     OpenMessage,
     SubscribeMessage,
     UpdateMessage,
+    MessageDecodeError,
     decode_message,
+    decode_stream,
     encode_message,
 )
 from repro.dvm.cib import CibEntry, CibIn, CibOut, LocCib, LocEntry
@@ -32,6 +34,8 @@ __all__ = [
     "LinkStateMessage",
     "encode_message",
     "decode_message",
+    "decode_stream",
+    "MessageDecodeError",
     "CibEntry",
     "CibIn",
     "LocCib",

@@ -13,7 +13,12 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, Set, Tuple
 
-from repro.dvm.messages import Message, _pack_str, _unpack_str
+from repro.dvm.messages import (
+    Message,
+    MessageDecodeError,
+    _pack_str,
+    _unpack_str,
+)
 
 _U32 = struct.Struct("!I")
 _U8 = struct.Struct("!B")
@@ -46,10 +51,14 @@ def decode_linkstate_body(body: bytes) -> LinkStateMessage:
     offset = 0
     plan_id, offset = _unpack_str(body, offset)
     origin, offset = _unpack_str(body, offset)
+    if offset + _U32.size > len(body):
+        raise MessageDecodeError("truncated link-state sequence")
     (sequence,) = _U32.unpack_from(body, offset)
     offset += _U32.size
     link_a, offset = _unpack_str(body, offset)
     link_b, offset = _unpack_str(body, offset)
+    if offset + _U8.size != len(body):
+        raise MessageDecodeError("malformed link-state body length")
     (up,) = _U8.unpack_from(body, offset)
     return LinkStateMessage(
         plan_id=plan_id,

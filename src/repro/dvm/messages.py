@@ -38,6 +38,12 @@ _FRAME = struct.Struct("!HBBI")
 _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
 
+#: Upper bound on a frame body.  The largest legitimate frames are burst
+#: UPDATEs carrying serialized BDDs; even paper-scale bursts stay far
+#: below this, so anything bigger is a corrupt length field and rejecting
+#: it keeps a stream decoder from buffering unbounded garbage.
+MAX_BODY_LENGTH = 16 * 1024 * 1024
+
 TYPE_OPEN = 1
 TYPE_KEEPALIVE = 2
 TYPE_UPDATE = 3
@@ -112,8 +118,12 @@ def _pack_str(value: str) -> bytes:
 
 
 def _unpack_str(payload: bytes, offset: int) -> Tuple[str, int]:
+    if offset + _U16.size > len(payload):
+        raise MessageDecodeError("truncated string length")
     (length,) = _U16.unpack_from(payload, offset)
     offset += _U16.size
+    if offset + length > len(payload):
+        raise MessageDecodeError("truncated string body")
     value = payload[offset : offset + length].decode("utf-8")
     return value, offset + length
 
@@ -123,8 +133,12 @@ def _pack_bytes(raw: bytes) -> bytes:
 
 
 def _unpack_bytes(payload: bytes, offset: int) -> Tuple[bytes, int]:
+    if offset + _U32.size > len(payload):
+        raise MessageDecodeError("truncated bytes length")
     (length,) = _U32.unpack_from(payload, offset)
     offset += _U32.size
+    if offset + length > len(payload):
+        raise MessageDecodeError("truncated bytes body")
     return payload[offset : offset + length], offset + length
 
 
@@ -136,10 +150,14 @@ def _pack_countset(counts: CountSet) -> bytes:
 
 
 def _unpack_countset(payload: bytes, offset: int) -> Tuple[CountSet, int]:
+    if offset + _U16.size + _U32.size > len(payload):
+        raise MessageDecodeError("truncated count set header")
     (dim,) = _U16.unpack_from(payload, offset)
     offset += _U16.size
     (size,) = _U32.unpack_from(payload, offset)
     offset += _U32.size
+    if offset + size * dim * _U32.size > len(payload):
+        raise MessageDecodeError("truncated count set body")
     tuples = []
     for _ in range(size):
         element = []
@@ -210,27 +228,77 @@ def decode_message(payload: bytes, factory: PredicateFactory) -> Message:
         raise MessageDecodeError(f"bad magic 0x{magic:04X}")
     if version != VERSION:
         raise MessageDecodeError(f"unsupported version {version}")
+    if length > MAX_BODY_LENGTH:
+        raise MessageDecodeError(f"body length {length} exceeds maximum")
     body = payload[_FRAME.size :]
     if len(body) != length:
         raise MessageDecodeError(
             f"frame length mismatch: header says {length}, got {len(body)}"
         )
+    try:
+        return _decode_body(kind, body, factory)
+    except MessageDecodeError:
+        raise
+    except (struct.error, ValueError, IndexError, UnicodeDecodeError) as exc:
+        # Bounds hold, but the body's contents are inconsistent (corrupt
+        # BDD payload, zero count dimension, broken UTF-8, ...).
+        raise MessageDecodeError(f"malformed type-{kind} body: {exc}") from exc
+
+
+def decode_stream(
+    buffer: bytes, factory: PredicateFactory
+) -> Tuple[List["Message"], bytes]:
+    """Incrementally decode ``buffer``: ``(messages, remainder)``.
+
+    Decodes every complete frame at the head of ``buffer`` and returns
+    the undecoded tail (a partial frame, or ``b""``).  A frame whose
+    header is corrupt raises :class:`MessageDecodeError` immediately --
+    the stream cannot be resynchronized past garbage, so transports
+    should drop the connection.
+    """
+    messages: List[Message] = []
+    offset = 0
+    total = len(buffer)
+    while total - offset >= _FRAME.size:
+        magic, version, kind, length = _FRAME.unpack_from(buffer, offset)
+        if magic != MAGIC:
+            raise MessageDecodeError(f"bad magic 0x{magic:04X} in stream")
+        if version != VERSION:
+            raise MessageDecodeError(f"unsupported version {version}")
+        if length > MAX_BODY_LENGTH:
+            raise MessageDecodeError(
+                f"body length {length} exceeds maximum"
+            )
+        end = offset + _FRAME.size + length
+        if end > total:
+            break  # partial frame: wait for more bytes
+        messages.append(decode_message(buffer[offset:end], factory))
+        offset = end
+    return messages, buffer[offset:]
+
+
+def _decode_body(kind: int, body: bytes, factory: PredicateFactory) -> Message:
     offset = 0
     if kind in (TYPE_OPEN, TYPE_KEEPALIVE):
         plan_id, offset = _unpack_str(body, offset)
         device, offset = _unpack_str(body, offset)
+        _check_consumed(body, offset)
         cls = OpenMessage if kind == TYPE_OPEN else KeepaliveMessage
         return cls(plan_id=plan_id, device=device)
     if kind == TYPE_UPDATE:
         plan_id, offset = _unpack_str(body, offset)
         up_node, offset = _unpack_str(body, offset)
         down_node, offset = _unpack_str(body, offset)
+        if offset + _U16.size > len(body):
+            raise MessageDecodeError("truncated withdrawn count")
         (n_withdrawn,) = _U16.unpack_from(body, offset)
         offset += _U16.size
         withdrawn = []
         for _ in range(n_withdrawn):
             raw, offset = _unpack_bytes(body, offset)
             withdrawn.append(factory.from_bytes(raw))
+        if offset + _U16.size > len(body):
+            raise MessageDecodeError("truncated result count")
         (n_results,) = _U16.unpack_from(body, offset)
         offset += _U16.size
         results = []
@@ -239,6 +307,7 @@ def decode_message(payload: bytes, factory: PredicateFactory) -> Message:
             predicate = factory.from_bytes(raw)
             counts, offset = _unpack_countset(body, offset)
             results.append((predicate, counts))
+        _check_consumed(body, offset)
         return UpdateMessage(
             plan_id=plan_id,
             up_node=up_node,
@@ -254,6 +323,7 @@ def decode_message(payload: bytes, factory: PredicateFactory) -> Message:
         original = factory.from_bytes(raw)
         raw, offset = _unpack_bytes(body, offset)
         transformed = factory.from_bytes(raw)
+        _check_consumed(body, offset)
         return SubscribeMessage(
             plan_id=plan_id,
             up_node=up_node,
@@ -266,3 +336,10 @@ def decode_message(payload: bytes, factory: PredicateFactory) -> Message:
 
         return decode_linkstate_body(body)
     raise MessageDecodeError(f"unknown message type {kind}")
+
+
+def _check_consumed(body: bytes, offset: int) -> None:
+    if offset != len(body):
+        raise MessageDecodeError(
+            f"{len(body) - offset} trailing bytes after message body"
+        )

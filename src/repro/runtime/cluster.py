@@ -1,0 +1,447 @@
+"""The asyncio testbed: one verifier agent per device over localhost TCP.
+
+:class:`RuntimeCluster` boots a :class:`DeviceHost` per topology device.
+Each host runs the *same* :class:`~repro.dvm.verifier.OnDeviceVerifier`
+the simulator drives, behind a real TCP server socket; hosts are wired
+along topology links with :class:`~repro.runtime.connection.PeerSession`
+(the smaller endpoint dials).  All DVM traffic travels as the real
+length-prefixed binary frames end-to-end.
+
+Convergence ("quiescence") is detected the way real testbeds do it --
+by watching for silence: an activity counter ticks on every counting
+message enqueued, transmitted, or processed, and the network is deemed
+converged after ``settle_rounds`` consecutive grace windows with no
+activity and all inboxes and write queues empty.  Keepalives are session
+control traffic and never tick the counter, so idle heartbeats do not
+delay convergence.  Per-operation convergence time is measured to the
+*last counting activity*, not to the detection instant, so the grace
+tail does not inflate reported wall times.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dvm.messages import Message, OpenMessage
+from repro.dvm.verifier import OnDeviceVerifier, RootVerdict, Violation
+from repro.packetspace.predicate import PredicateFactory
+from repro.planner.tasks import Plan
+from repro.runtime.connection import BackoffPolicy, PeerSession, SessionEvents
+from repro.runtime.metrics import ClusterMetrics, DeviceMetrics
+from repro.runtime.transport import SESSION_PLAN, FramedChannel
+from repro.topology.graph import Topology
+
+
+class ClusterTimeoutError(RuntimeError):
+    """An operation did not reach quiescence within its deadline."""
+
+
+def _normalize(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+class DeviceHost:
+    """One device's runtime agent: verifier + server + peer sessions."""
+
+    def __init__(
+        self,
+        device: str,
+        verifier: OnDeviceVerifier,
+        factory: PredicateFactory,
+        metrics: DeviceMetrics,
+        cluster: "RuntimeCluster",
+    ) -> None:
+        self.device = device
+        self.verifier = verifier
+        self.factory = factory
+        self.metrics = metrics
+        self.cluster = cluster
+        self.sessions: Dict[str, PeerSession] = {}
+        self.installed_plans: List[str] = []
+        self.inbox: "asyncio.Queue" = asyncio.Queue()
+        self.server: Optional[asyncio.base_events.Server] = None
+        self.port: int = 0
+        self._pump_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self.server = await asyncio.start_server(
+            self._accept, host="127.0.0.1", port=0
+        )
+        self.port = self.server.sockets[0].getsockname()[1]
+        self._pump_task = asyncio.get_running_loop().create_task(self._pump())
+
+    async def stop(self) -> None:
+        for session in self.sessions.values():
+            await session.stop()
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+            self.server = None
+
+    # -- inbound connections -----------------------------------------------
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Server side of the handshake: identify the peer, then adopt."""
+        channel = FramedChannel(reader, writer, self.factory, self.metrics)
+        channel.start()
+        try:
+            first = await asyncio.wait_for(
+                channel.receive(), timeout=self.cluster.handshake_timeout
+            )
+        except Exception:
+            await channel.close()
+            return
+        if (
+            not isinstance(first, OpenMessage)
+            or first.plan_id != SESSION_PLAN
+            or first.device not in self.sessions
+        ):
+            await channel.close()
+            return
+        session = self.sessions[first.device]
+        if session.active:
+            # Dial-rule violation (we dial toward that peer); refuse.
+            await channel.close()
+            return
+        await session.adopt(channel)
+
+    # -- message processing ------------------------------------------------
+
+    def handle_incoming(self, peer: str, message: Message) -> None:
+        """Session read loops push counting frames here (FIFO per peer)."""
+        del peer
+        self.inbox.put_nowait(message)
+        self.cluster.note_activity()
+
+    async def _pump(self) -> None:
+        while True:
+            message = await self.inbox.get()
+            outgoing = self.verifier.on_message(message)
+            self.route(outgoing)
+            self.cluster.note_activity()
+
+    def route(self, outgoing) -> None:
+        for destination, message in outgoing:
+            session = self.sessions.get(destination)
+            if session is not None and session.send(message):
+                self.cluster.note_activity()
+            # else: session down or link failed -- the frame is dropped,
+            # exactly like a TCP connection stalling over a dead link;
+            # the re-OPEN refresh repairs state on reconnect.
+
+    def call(self, handler: Callable[[], list]) -> None:
+        """Run a verifier entry point and transmit what it emits."""
+        self.route(handler())
+        self.cluster.note_activity()
+
+    # -- session callbacks -------------------------------------------------
+
+    def on_session_established(self, peer: str) -> None:
+        """Re-OPEN every installed plan so the peer refreshes our state."""
+        session = self.sessions[peer]
+        for plan_id in self.installed_plans:
+            if session.send(
+                OpenMessage(plan_id=plan_id, device=self.device)
+            ):
+                self.cluster.note_activity()
+
+    def on_peer_down(self, peer: str) -> None:
+        self.call(lambda: self.verifier.on_peer_down(peer))
+
+
+class RuntimeCluster:
+    """All device hosts of one topology, ready for workload injection."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        fibs: Dict[str, "Fib"],
+        factory: PredicateFactory,
+        *,
+        keepalive_interval: float = 0.5,
+        hold_multiplier: float = 3.0,
+        backoff: Optional[BackoffPolicy] = None,
+        seed: int = 7,
+        quiescence_grace: float = 0.05,
+        settle_rounds: int = 2,
+        op_timeout: float = 60.0,
+        handshake_timeout: float = 5.0,
+    ) -> None:
+        self.topology = topology
+        self.factory = factory
+        self.fibs = fibs
+        self.metrics = ClusterMetrics()
+        self.keepalive_interval = keepalive_interval
+        self.hold_multiplier = hold_multiplier
+        self.backoff = backoff or BackoffPolicy()
+        self.seed = seed
+        self.quiescence_grace = quiescence_grace
+        self.settle_rounds = settle_rounds
+        self.op_timeout = op_timeout
+        self.handshake_timeout = handshake_timeout
+        self.hosts: Dict[str, DeviceHost] = {}
+        self._plans: Dict[str, Plan] = {}
+        self._failed_links: set = set()
+        self._activity = 0
+        self._last_activity_wall = time.monotonic()
+        self._started = False
+
+    # -- activity / quiescence ---------------------------------------------
+
+    def note_activity(self) -> None:
+        self._activity += 1
+        self._last_activity_wall = time.monotonic()
+
+    def link_admin_up(self, a: str, b: str) -> bool:
+        return _normalize(a, b) not in self._failed_links
+
+    def _busy(self) -> bool:
+        for host in self.hosts.values():
+            if host.inbox.qsize() > 0:
+                return True
+            for session in host.sessions.values():
+                if session.pending_out > 0:
+                    return True
+        return False
+
+    async def wait_quiescence(self, timeout: Optional[float] = None) -> float:
+        """Wait for counting silence; returns seconds since last activity."""
+        deadline = time.monotonic() + (timeout or self.op_timeout)
+        quiet_rounds = 0
+        last_seen = self._activity
+        while quiet_rounds < self.settle_rounds:
+            if time.monotonic() > deadline:
+                raise ClusterTimeoutError(
+                    "no quiescence within deadline "
+                    f"(activity={self._activity}, busy={self._busy()})"
+                )
+            await asyncio.sleep(self.quiescence_grace)
+            if self._activity == last_seen and not self._busy():
+                quiet_rounds += 1
+            else:
+                quiet_rounds = 0
+                last_seen = self._activity
+        return time.monotonic() - self._last_activity_wall
+
+    def _begin_op(self) -> float:
+        start = time.monotonic()
+        self._last_activity_wall = start
+        return start
+
+    def _finish_op(self, start: float) -> float:
+        """Convergence wall time: last counting activity minus start."""
+        elapsed = max(0.0, self._last_activity_wall - start)
+        self.metrics.convergence_seconds.append(elapsed)
+        return elapsed
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Boot every host, dial every link, wait for all sessions."""
+        for device in self.topology.devices:
+            verifier = OnDeviceVerifier(
+                device,
+                self.factory,
+                self.fibs[device],
+                self.topology.neighbors(device),
+            )
+            host = DeviceHost(
+                device,
+                verifier,
+                self.factory,
+                self.metrics.device(device),
+                self,
+            )
+            self.hosts[device] = host
+            await host.start()
+        for link in self.topology.links:
+            self._wire(link.a, link.b)
+            self._wire(link.b, link.a)
+        for host in self.hosts.values():
+            for session in host.sessions.values():
+                session.start()
+        await self.wait_all_established()
+        self._started = True
+
+    def _wire(self, device: str, peer: str) -> None:
+        host = self.hosts[device]
+        events = SessionEvents(
+            on_message=host.handle_incoming,
+            on_established=host.on_session_established,
+            on_peer_down=host.on_peer_down,
+            link_up=lambda p, d=device: self.link_admin_up(d, p),
+        )
+        host.sessions[peer] = PeerSession(
+            device,
+            peer,
+            self.factory,
+            host.metrics,
+            events,
+            active=device < peer,
+            peer_address=lambda p=peer: ("127.0.0.1", self.hosts[p].port),
+            keepalive_interval=self.keepalive_interval,
+            hold_multiplier=self.hold_multiplier,
+            backoff=self.backoff,
+            rng=random.Random(f"{self.seed}:{device}:{peer}"),
+        )
+
+    async def wait_all_established(
+        self, timeout: Optional[float] = None
+    ) -> None:
+        waiters = [
+            session.established.wait()
+            for host in self.hosts.values()
+            for session in host.sessions.values()
+            if self.link_admin_up(session.device, session.peer)
+        ]
+        await asyncio.wait_for(
+            asyncio.gather(*waiters), timeout=timeout or self.op_timeout
+        )
+
+    async def wait_session(
+        self, a: str, b: str, timeout: Optional[float] = None
+    ) -> None:
+        """Wait until both directions of link (a, b) are established."""
+        await asyncio.wait_for(
+            asyncio.gather(
+                self.hosts[a].sessions[b].established.wait(),
+                self.hosts[b].sessions[a].established.wait(),
+            ),
+            timeout=timeout or self.op_timeout,
+        )
+
+    async def stop(self) -> None:
+        for host in self.hosts.values():
+            await host.stop()
+        self.hosts.clear()
+        self._started = False
+
+    # -- workload operations (each returns convergence seconds) ------------
+
+    async def install_plan(self, plan_id: str, plan: Plan) -> float:
+        return await self.install_plans({plan_id: plan})
+
+    async def install_plans(self, plans: Dict[str, Plan]) -> float:
+        """Install plans on their devices as one burst, run to quiescence."""
+        start = self._begin_op()
+        for plan_id, plan in plans.items():
+            self._plans[plan_id] = plan
+            for device in plan.devices():
+                host = self.hosts[device]
+                host.installed_plans.append(plan_id)
+                host.call(
+                    lambda v=host.verifier, i=plan_id, p=plan: v.install_plan(
+                        i, p
+                    )
+                )
+        await self.wait_quiescence()
+        return self._finish_op(start)
+
+    async def fib_update(
+        self, device: str, mutate: Callable[[], None]
+    ) -> float:
+        """Apply one rule update at ``device``, verify incrementally."""
+        start = self._begin_op()
+        mutate()
+        host = self.hosts[device]
+        host.call(host.verifier.on_fib_changed)
+        await self.wait_quiescence()
+        return self._finish_op(start)
+
+    async def burst_fib_event(self) -> float:
+        start = self._begin_op()
+        for host in self.hosts.values():
+            host.call(host.verifier.on_fib_changed)
+        await self.wait_quiescence()
+        return self._finish_op(start)
+
+    async def fail_link(self, a: str, b: str) -> float:
+        """Fail link (a, b): cut its TCP sessions, flood, recount."""
+        start = self._begin_op()
+        self._failed_links.add(_normalize(a, b))
+        self.hosts[a].sessions[b].disconnect()
+        self.hosts[b].sessions[a].disconnect()
+        for device in (a, b):
+            host = self.hosts[device]
+            host.call(
+                lambda v=host.verifier: v.on_link_event((a, b), up=False)
+            )
+        await self.wait_quiescence()
+        return self._finish_op(start)
+
+    async def recover_link(self, a: str, b: str) -> float:
+        """Recover link (a, b): redial, refresh sessions, recount."""
+        start = self._begin_op()
+        self._failed_links.discard(_normalize(a, b))
+        for device in (a, b):
+            host = self.hosts[device]
+            host.call(
+                lambda v=host.verifier: v.on_link_event((a, b), up=True)
+            )
+        await self.wait_session(a, b)
+        await self.wait_quiescence()
+        return self._finish_op(start)
+
+    async def drop_connection(
+        self, a: str, b: str, hold_down: float = 0.0, reconnect: bool = True
+    ) -> float:
+        """Force-drop the TCP connection of link (a, b) (fault injection).
+
+        The link stays administratively up: dead-peer detection fires
+        ``on_peer_down`` on both ends, and (unless ``reconnect`` is
+        False) backoff-reconnect re-establishes the session after
+        ``hold_down`` seconds and refreshes state via re-OPEN.
+        """
+        start = self._begin_op()
+        self.hosts[a].sessions[b].disconnect(hold_down)
+        self.hosts[b].sessions[a].disconnect(hold_down)
+        if reconnect:
+            await self.wait_session(a, b)
+        await self.wait_quiescence()
+        return self._finish_op(start)
+
+    # -- results (mirror SimulatedNetwork) ----------------------------------
+
+    @property
+    def verifiers(self) -> Dict[str, OnDeviceVerifier]:
+        return {
+            device: host.verifier for device, host in self.hosts.items()
+        }
+
+    def verdicts(self, plan_id: str) -> List[RootVerdict]:
+        results: List[RootVerdict] = []
+        for host in self.hosts.values():
+            results.extend(host.verifier.root_verdicts(plan_id))
+        return results
+
+    def holds(self, plan_id: str) -> bool:
+        plan = self._plans[plan_id]
+        if plan.mode == "local":
+            return not any(
+                violation.plan_id == plan_id
+                for host in self.hosts.values()
+                for violation in host.verifier.violations
+            )
+        results = self.verdicts(plan_id)
+        return bool(results) and all(verdict.holds for verdict in results)
+
+    def all_violations(self) -> List[Violation]:
+        return [
+            violation
+            for host in self.hosts.values()
+            for violation in host.verifier.violations
+        ]

@@ -1,0 +1,317 @@
+"""DVM session management over real TCP connections.
+
+One :class:`PeerSession` runs per topology link endpoint.  To avoid
+simultaneous-connect collisions the lexicographically smaller endpoint
+dials (BGP-style collision avoidance); the larger endpoint accepts and
+adopts the connection after reading the peer's session OPEN.
+
+Session lifecycle:
+
+* **handshake** -- each side sends ``OpenMessage(plan_id="", device=...)``
+  on connect; the session is established once the peer's OPEN arrives.
+  On establishment the host re-OPENs every installed plan toward the
+  peer, which triggers the verifier's full-refresh path
+  (:meth:`OnDeviceVerifier._on_open`), so reconnects reconverge without
+  any extra protocol machinery.
+* **keepalive** -- heartbeats every ``keepalive_interval``; a watchdog
+  declares the peer dead after ``hold_multiplier`` silent intervals and
+  aborts the connection.
+* **loss** -- EOF, reset, decode garbage, or keepalive timeout all land
+  in one loss path: the host's ``on_peer_down`` fires (withdrawing the
+  peer's counting state) and, on the dialing side, reconnection retries
+  with exponential backoff plus jitter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Optional, Tuple
+
+from repro.dvm.messages import (
+    Message,
+    MessageDecodeError,
+    OpenMessage,
+)
+from repro.packetspace.predicate import PredicateFactory
+from repro.runtime.metrics import DeviceMetrics
+from repro.runtime.transport import (
+    SESSION_PLAN,
+    FramedChannel,
+    is_control_frame,
+)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with decorrelating jitter for redials."""
+
+    initial: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5  # fraction of the delay randomized away
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(self.max_delay, self.initial * self.multiplier ** attempt)
+        return base * (1.0 - self.jitter * rng.random())
+
+
+class SessionEvents:
+    """Host-side callbacks a session drives (see ``cluster.DeviceHost``)."""
+
+    def __init__(
+        self,
+        on_message: Callable[[str, Message], None],
+        on_established: Callable[[str], None],
+        on_peer_down: Callable[[str], None],
+        link_up: Callable[[str], bool],
+    ) -> None:
+        self.on_message = on_message
+        self.on_established = on_established
+        self.on_peer_down = on_peer_down
+        self.link_up = link_up
+
+
+class PeerSession:
+    """The DVM session from ``device`` to neighbor ``peer``."""
+
+    def __init__(
+        self,
+        device: str,
+        peer: str,
+        factory: PredicateFactory,
+        metrics: DeviceMetrics,
+        events: SessionEvents,
+        *,
+        active: bool,
+        peer_address: Callable[[], Tuple[str, int]],
+        keepalive_interval: float = 0.5,
+        hold_multiplier: float = 3.0,
+        backoff: Optional[BackoffPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.device = device
+        self.peer = peer
+        self.factory = factory
+        self.metrics = metrics
+        self.events = events
+        self.active = active
+        self.peer_address = peer_address
+        self.keepalive_interval = keepalive_interval
+        self.hold_time = keepalive_interval * hold_multiplier
+        self.backoff = backoff or BackoffPolicy()
+        self.rng = rng or random.Random()
+        self.established = asyncio.Event()
+        self._channel: Optional[FramedChannel] = None
+        self._serve_task: Optional[asyncio.Task] = None
+        self._dial_task: Optional[asyncio.Task] = None
+        self._stopped = False
+        self._suspend_until = 0.0
+        self._ever_established = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin dialing (active side).  Passive sessions wait to adopt."""
+        if self.active:
+            self._dial_task = asyncio.get_running_loop().create_task(
+                self._dial_loop()
+            )
+
+    async def stop(self) -> None:
+        self._stopped = True
+        for task in (self._dial_task, self._serve_task):
+            if task is not None:
+                task.cancel()
+        for task in (self._dial_task, self._serve_task):
+            if task is not None:
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._dial_task = None
+        self._serve_task = None
+        if self._channel is not None:
+            await self._channel.close()
+            self._channel = None
+        self.established.clear()
+
+    @property
+    def is_established(self) -> bool:
+        return self.established.is_set()
+
+    @property
+    def pending_out(self) -> int:
+        return self._channel.pending_out if self._channel else 0
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, message: Message) -> bool:
+        """Queue ``message``; False when the session is down (dropped)."""
+        if self._channel is None or not self.is_established:
+            return False
+        self._channel.send(message)
+        return True
+
+    # -- fault injection ---------------------------------------------------
+
+    def disconnect(self, hold_down: float = 0.0) -> None:
+        """Forcibly drop the TCP connection (testbed fault injection).
+
+        ``hold_down`` suppresses redialing for that many seconds so
+        tests can observe the degraded state before backoff-reconnect
+        repairs the session.
+        """
+        self._suspend_until = max(
+            self._suspend_until, time.monotonic() + hold_down
+        )
+        if self._channel is not None:
+            # Clear synchronously so a waiter entering established.wait()
+            # right after this call blocks until the *re*-connect, not the
+            # connection being torn down (the abort only reaches _serve's
+            # read loop on a later loop iteration).
+            self.established.clear()
+            self._channel.abort()
+
+    # -- active side: dialing ----------------------------------------------
+
+    async def _dial_loop(self) -> None:
+        attempt = 0
+        try:
+            while not self._stopped:
+                now = time.monotonic()
+                if now < self._suspend_until or not self.events.link_up(
+                    self.peer
+                ):
+                    await asyncio.sleep(
+                        min(0.05, self.keepalive_interval / 2)
+                    )
+                    continue
+                host, port = self.peer_address()
+                try:
+                    reader, writer = await asyncio.open_connection(host, port)
+                except (ConnectionError, OSError):
+                    await asyncio.sleep(self.backoff.delay(attempt, self.rng))
+                    attempt += 1
+                    continue
+                channel = FramedChannel(
+                    reader, writer, self.factory, self.metrics
+                )
+                channel.start()
+                channel.send(
+                    OpenMessage(plan_id=SESSION_PLAN, device=self.device)
+                )
+                if not await self._await_peer_open(channel):
+                    await channel.close()
+                    await asyncio.sleep(self.backoff.delay(attempt, self.rng))
+                    attempt += 1
+                    continue
+                attempt = 0
+                await self._serve(channel)
+        except asyncio.CancelledError:
+            raise
+
+    async def _await_peer_open(self, channel: FramedChannel) -> bool:
+        """Wait for the peer's session OPEN (handshake completion)."""
+        try:
+            message = await asyncio.wait_for(
+                channel.receive(), timeout=self.hold_time
+            )
+        except (asyncio.TimeoutError, MessageDecodeError):
+            return False
+        return (
+            isinstance(message, OpenMessage)
+            and message.plan_id == SESSION_PLAN
+            and message.device == self.peer
+        )
+
+    # -- passive side: adoption --------------------------------------------
+
+    async def adopt(self, channel: FramedChannel) -> None:
+        """Take over an accepted connection whose OPEN named our peer."""
+        if self._stopped or not self.events.link_up(self.peer):
+            await channel.close()
+            return
+        if self._serve_task is not None:
+            # A stale session is still around; replace it.
+            self._serve_task.cancel()
+            try:
+                await self._serve_task
+            except asyncio.CancelledError:
+                pass
+            self._serve_task = None
+        channel.send(OpenMessage(plan_id=SESSION_PLAN, device=self.device))
+        self._serve_task = asyncio.get_running_loop().create_task(
+            self._serve(channel)
+        )
+
+    # -- established session loop ------------------------------------------
+
+    async def _serve(self, channel: FramedChannel) -> None:
+        """Pump frames until the connection dies; fire loss handling."""
+        self._channel = channel
+        channel.last_rx = time.monotonic()
+        if self._ever_established:
+            self.metrics.reconnects += 1
+        self._ever_established = True
+        self.metrics.sessions_established += 1
+        self.established.set()
+        self.events.on_established(self.peer)
+        keepalive = asyncio.get_running_loop().create_task(
+            self._keepalive_loop(channel)
+        )
+        watchdog = asyncio.get_running_loop().create_task(
+            self._watchdog_loop(channel)
+        )
+        try:
+            while True:
+                try:
+                    message = await channel.receive()
+                except MessageDecodeError:
+                    break  # garbage on the wire: drop the connection
+                if message is None:
+                    break  # EOF / reset
+                if is_control_frame(message):
+                    continue  # keepalive or duplicate handshake OPEN
+                self.events.on_message(self.peer, message)
+        except asyncio.CancelledError:
+            raise
+        finally:
+            keepalive.cancel()
+            watchdog.cancel()
+            # _serve always established at entry, so its exit is always a
+            # session loss (disconnect() may already have cleared the
+            # event; peer-down handling must still run).
+            self.established.clear()
+            if self._channel is channel:
+                self._channel = None
+            await channel.close()
+            if not self._stopped:
+                self.metrics.peer_down_events += 1
+                self.events.on_peer_down(self.peer)
+
+    async def _keepalive_loop(self, channel: FramedChannel) -> None:
+        from repro.dvm.messages import KeepaliveMessage
+
+        try:
+            while True:
+                await asyncio.sleep(self.keepalive_interval)
+                channel.send(
+                    KeepaliveMessage(
+                        plan_id=SESSION_PLAN, device=self.device
+                    )
+                )
+        except asyncio.CancelledError:
+            return
+
+    async def _watchdog_loop(self, channel: FramedChannel) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.keepalive_interval)
+                if time.monotonic() - channel.last_rx > self.hold_time:
+                    channel.abort()  # receive() unblocks with None
+                    return
+        except asyncio.CancelledError:
+            return

@@ -1,0 +1,79 @@
+"""Per-device runtime metrics (testbed counterpart of the simulator's
+:class:`~repro.simulator.network.MessageStats`).
+
+Counting traffic (plan-scoped DVM frames: OPEN/UPDATE/SUBSCRIBE/
+LINKSTATE) is tracked separately from session control traffic (the
+handshake OPEN and KEEPALIVE heartbeats with the empty session plan id),
+so ``messages_out``/``bytes_out`` are comparable with the simulator's
+message statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class DeviceMetrics:
+    """Traffic and liveness counters for one device's runtime agent."""
+
+    device: str
+    messages_in: int = 0
+    messages_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    control_in: int = 0
+    control_out: int = 0
+    control_bytes_in: int = 0
+    control_bytes_out: int = 0
+    decode_errors: int = 0
+    reconnects: int = 0
+    sessions_established: int = 0
+    peer_down_events: int = 0
+
+    def as_row(self) -> Dict[str, object]:
+        """One reporting-table row (see :mod:`repro.bench.reporting`)."""
+        return {
+            "device": self.device,
+            "msgs in/out": f"{self.messages_in}/{self.messages_out}",
+            "bytes in/out": f"{self.bytes_in}/{self.bytes_out}",
+            "ctrl frames": self.control_in + self.control_out,
+            "reconnects": self.reconnects,
+            "decode errs": self.decode_errors,
+            "peer downs": self.peer_down_events,
+        }
+
+
+@dataclass
+class ClusterMetrics:
+    """Cluster-wide aggregates plus per-operation convergence times."""
+
+    devices: Dict[str, DeviceMetrics] = field(default_factory=dict)
+    convergence_seconds: List[float] = field(default_factory=list)
+
+    def device(self, name: str) -> DeviceMetrics:
+        if name not in self.devices:
+            self.devices[name] = DeviceMetrics(name)
+        return self.devices[name]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(m.messages_out for m in self.devices.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.bytes_out for m in self.devices.values())
+
+    @property
+    def total_reconnects(self) -> int:
+        return sum(m.reconnects for m in self.devices.values())
+
+    @property
+    def total_decode_errors(self) -> int:
+        return sum(m.decode_errors for m in self.devices.values())
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [
+            self.devices[name].as_row() for name in sorted(self.devices)
+        ]

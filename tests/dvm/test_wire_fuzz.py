@@ -1,0 +1,156 @@
+"""Codec robustness fuzzing (satellite of the runtime subsystem).
+
+The runtime feeds raw socket bytes into the decoder, so the codec must
+be total: every well-formed frame round-trips; every truncation and
+byte-corruption either raises :class:`MessageDecodeError` or decodes to
+some :class:`Message` -- it must never escape with another exception.
+"""
+
+import random
+
+import pytest
+
+from repro.counting.counts import CountSet
+from repro.dvm.linkstate import LinkStateMessage
+from repro.dvm.messages import (
+    KeepaliveMessage,
+    Message,
+    MessageDecodeError,
+    OpenMessage,
+    SubscribeMessage,
+    UpdateMessage,
+    decode_message,
+    decode_stream,
+    encode_message,
+)
+
+
+def sample_messages(factory):
+    """One representative instance of every wire message type."""
+    return [
+        OpenMessage(plan_id="plan-1", device="S"),
+        OpenMessage(plan_id="", device="W"),  # session-control OPEN
+        KeepaliveMessage(plan_id="", device="A"),
+        UpdateMessage(
+            plan_id="plan-1",
+            up_node="A#1",
+            down_node="W#2",
+            withdrawn=(factory.dst_prefix("10.0.0.0/23"),),
+            results=(
+                (factory.dst_prefix("10.0.0.0/24"), CountSet.scalar(0)),
+                (factory.dst_prefix("10.0.1.0/24"), CountSet.scalar(1, 2)),
+            ),
+        ),
+        UpdateMessage(
+            plan_id="p", up_node="u", down_node="v", withdrawn=(), results=()
+        ),
+        SubscribeMessage(
+            plan_id="plan-1",
+            up_node="A#1",
+            down_node="W#2",
+            original=factory.dst_prefix("10.0.0.0/24"),
+            transformed=factory.dst_prefix("192.168.0.0/24"),
+        ),
+        LinkStateMessage(
+            plan_id="plan-1",
+            origin="W",
+            sequence=7,
+            link=("W", "D"),
+            up=False,
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_every_type_round_trips(self, factory):
+        for message in sample_messages(factory):
+            encoded = encode_message(message)
+            assert decode_message(encoded, factory) == message
+
+    def test_stream_of_all_types_round_trips(self, factory):
+        messages = sample_messages(factory)
+        blob = b"".join(encode_message(m) for m in messages)
+        decoded, remainder = decode_stream(blob, factory)
+        assert decoded == messages
+        assert remainder == b""
+
+
+class TestTruncation:
+    def test_every_prefix_raises_never_crashes(self, factory):
+        """Cutting a frame at *every* byte offset raises cleanly."""
+        for message in sample_messages(factory):
+            encoded = encode_message(message)
+            for cut in range(len(encoded)):
+                with pytest.raises(MessageDecodeError):
+                    decode_message(encoded[:cut], factory)
+
+    def test_trailing_garbage_raises(self, factory):
+        encoded = encode_message(OpenMessage(plan_id="p", device="S"))
+        with pytest.raises(MessageDecodeError):
+            decode_message(encoded + b"\x00", factory)
+
+    def test_stream_keeps_partial_frames(self, factory):
+        """decode_stream never raises on truncation -- it buffers."""
+        message = sample_messages(factory)[3]  # the big UpdateMessage
+        encoded = encode_message(message)
+        for cut in range(len(encoded)):
+            decoded, remainder = decode_stream(encoded[:cut], factory)
+            assert decoded == []
+            assert remainder == encoded[:cut]
+
+
+class TestCorruption:
+    def test_single_byte_corruption_is_contained(self, factory):
+        """Flipping any byte raises MessageDecodeError or still decodes.
+
+        Corruption inside variable payloads can produce a different but
+        well-formed message; what it must never do is escape as an
+        unrelated exception (struct.error, IndexError, ...).
+        """
+        rng = random.Random(20220814)
+        for message in sample_messages(factory):
+            encoded = bytearray(encode_message(message))
+            for position in range(len(encoded)):
+                corrupted = bytearray(encoded)
+                corrupted[position] ^= 1 + rng.randrange(255)
+                try:
+                    decoded = decode_message(bytes(corrupted), factory)
+                except MessageDecodeError:
+                    continue
+                assert isinstance(decoded, Message)
+
+    def test_header_corruption_always_raises(self, factory):
+        """Magic and version bytes (offsets 0..2) are strict."""
+        encoded = bytearray(
+            encode_message(OpenMessage(plan_id="p", device="S"))
+        )
+        for position in range(3):
+            for flip in range(1, 256):
+                corrupted = bytearray(encoded)
+                corrupted[position] ^= flip
+                with pytest.raises(MessageDecodeError):
+                    decode_message(bytes(corrupted), factory)
+
+    def test_random_garbage_is_contained(self, factory):
+        rng = random.Random(0xD7A1)
+        for _ in range(200):
+            blob = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(1, 64))
+            )
+            try:
+                decode_message(blob, factory)
+            except MessageDecodeError:
+                pass
+
+    def test_stream_garbage_after_good_frame(self, factory):
+        """Garbage anywhere in a chunk poisons the whole stream.
+
+        That is the right contract for a TCP byte stream: nothing after
+        a corrupt header can be trusted, so the channel owner drops the
+        connection (in-flight state is refreshed on reconnect).
+        """
+        good = encode_message(KeepaliveMessage(plan_id="", device="A"))
+        with pytest.raises(MessageDecodeError):
+            decode_stream(good + b"\xde\xad\xbe\xef" * 3, factory)
+        with pytest.raises(MessageDecodeError):
+            decode_stream(b"\xde\xad\xbe\xef" * 3, factory)

@@ -1,0 +1,123 @@
+"""The ``backend="runtime"`` deployment facade."""
+
+import pytest
+
+from repro.core import Tulkun
+from repro.core.errors import TulkunError
+from repro.dataplane.actions import Forward
+from repro.dataplane.routes import (
+    PRIORITY_ERROR,
+    RouteConfig,
+    install_routes,
+)
+from repro.packetspace.fields import DSTIP_ONLY_LAYOUT
+from repro.topology.generators import paper_example
+
+FAST = dict(
+    keepalive_interval=0.05,
+    quiescence_grace=0.02,
+    op_timeout=30.0,
+)
+
+WAYPOINT = "(dstIP = 10.0.0.0/23, [S], (exist >= 1, S.*W.*D and loop_free))"
+
+
+@pytest.fixture()
+def tulkun_and_fibs():
+    tulkun = Tulkun(paper_example(), layout=DSTIP_ONLY_LAYOUT)
+    fibs = install_routes(
+        tulkun.topology, tulkun.factory, RouteConfig(ecmp="any")
+    )
+    return tulkun, fibs
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self, tulkun_and_fibs):
+        tulkun, fibs = tulkun_and_fibs
+        with pytest.raises(TulkunError, match="unknown backend"):
+            tulkun.deploy(fibs, backend="quantum")
+
+    def test_runtime_options_need_runtime_backend(self, tulkun_and_fibs):
+        tulkun, fibs = tulkun_and_fibs
+        with pytest.raises(TulkunError, match="require backend='runtime'"):
+            tulkun.deploy(fibs, keepalive_interval=0.1)
+
+    def test_sim_backend_is_default_and_context_managed(
+        self, tulkun_and_fibs
+    ):
+        tulkun, fibs = tulkun_and_fibs
+        with tulkun.deploy(fibs) as deployment:
+            invariant = tulkun.parse(WAYPOINT, name="wp")
+            assert deployment.verify(invariant).holds is False
+
+
+class TestRuntimeFacade:
+    def test_figure2_walkthrough_over_tcp(self, tulkun_and_fibs):
+        """The demo flow -- violation, fix, re-verify -- on real sockets."""
+        tulkun, fibs = tulkun_and_fibs
+        with tulkun.deploy(fibs, backend="runtime", **FAST) as deployment:
+            invariant = tulkun.parse(WAYPOINT, name="wp")
+            report = deployment.verify(invariant)
+            assert report.holds is False
+            assert report.message_count > 0
+            assert report.message_bytes > report.message_count * 8
+            assert report.verification_seconds >= 0.0
+
+            plan_id = next(iter(deployment.plans))
+            packets = tulkun.factory.dst_prefix("10.0.0.0/23")
+            seconds = deployment.update_rule(
+                "A",
+                lambda: fibs["A"].insert(
+                    PRIORITY_ERROR, packets, Forward(["W"])
+                ),
+            )
+            assert seconds >= 0.0
+            assert deployment.holds(plan_id)
+
+            final = deployment.reports()[0]
+            assert final.holds
+            assert final.invariant.name == "wp"
+
+    def test_fault_injection_and_metrics(self, tulkun_and_fibs):
+        tulkun, fibs = tulkun_and_fibs
+        with tulkun.deploy(fibs, backend="runtime", **FAST) as deployment:
+            invariant = tulkun.parse(
+                "(dstIP = 10.0.0.0/23, [S], (exist >= 1, S.*D))",
+                name="reach",
+            )
+            assert deployment.verify(invariant).holds
+            plan_id = next(iter(deployment.plans))
+
+            deployment.fail_link("W", "D")
+            deployment.recover_link("W", "D")
+            assert deployment.holds(plan_id)
+
+            deployment.drop_connection("A", "B", hold_down=0.05)
+            assert deployment.holds(plan_id)
+
+            rows = deployment.metrics_rows()
+            assert len(rows) == tulkun.topology.num_devices
+            assert deployment.metrics.total_messages > 0
+            assert deployment.metrics.total_reconnects >= 1
+
+    def test_device_counts_exposed(self, tulkun_and_fibs):
+        tulkun, fibs = tulkun_and_fibs
+        with tulkun.deploy(fibs, backend="runtime", **FAST) as deployment:
+            invariant = tulkun.parse(
+                "(dstIP = 10.0.0.0/23, [S], (exist >= 1, S.*D))",
+                name="reach",
+            )
+            deployment.verify(invariant)
+            plan_id = next(iter(deployment.plans))
+            counts = deployment.device_counts(plan_id, "S")
+            assert counts
+
+    def test_close_is_idempotent_and_rejects_further_use(
+        self, tulkun_and_fibs
+    ):
+        tulkun, fibs = tulkun_and_fibs
+        deployment = tulkun.deploy(fibs, backend="runtime", **FAST)
+        deployment.close()
+        deployment.close()
+        with pytest.raises(TulkunError, match="closed"):
+            deployment.holds("plan-1")
