@@ -1,0 +1,35 @@
+"""repro-lint: the codebase checks itself (static analysis subsystem).
+
+Tulkun verifies a network's data plane by distributing small checkers
+onto every device; this package applies the same philosophy to the
+reproduction's own code.  Three analyzer families, stdlib ``ast`` only:
+
+* :mod:`repro.checkers.asyncsafety` -- event-loop safety (ASYNC001-005):
+  blocking calls in coroutines, unawaited coroutines, dropped task
+  handles, sync locks across ``await``, cross-thread loop touches.
+* :mod:`repro.checkers.protocol` -- DVM wire-protocol consistency
+  (PROTO001-005): every ``TYPE_*`` message kind must carry an encode
+  branch, a decode branch, a runtime dispatch handler, and a fuzz
+  corpus entry.
+* :mod:`repro.checkers.hygiene` -- exception and API hygiene (EXC001,
+  HYG001-002).
+
+Run via ``python -m repro lint`` (see :mod:`repro.checkers.cli`) or the
+library API :func:`run_lint`.  The rule catalog with rationale and
+examples lives in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.checkers.engine import RULES, LintReport, lint_file, run_lint
+from repro.checkers.findings import Finding, parse_suppressions
+from repro.checkers.protocol import check_protocol, extract_surface
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "check_protocol",
+    "extract_surface",
+    "lint_file",
+    "parse_suppressions",
+    "run_lint",
+]

@@ -1,0 +1,400 @@
+"""Async-safety analyzers (rules ASYNC001-ASYNC005).
+
+The runtime package runs one asyncio agent per device; the classic ways
+such a system rots are all *statically visible*: a blocking call wedging
+the shared event loop, a coroutine constructed but never awaited, a
+fire-and-forget task whose handle (and exceptions) vanish, a sync lock
+held across a suspension point, and cross-thread event-loop calls that
+bypass the ``call_soon_threadsafe`` / ``run_coroutine_threadsafe``
+facade discipline (see :mod:`repro.runtime.deployment`).
+
+All analysis is intraprocedural and name-based -- deliberately so: the
+rules are tuned to have essentially zero false positives on idiomatic
+asyncio code, and every heuristic is documented in
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.checkers.findings import Finding
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Fully-qualified callables that block the calling thread.
+BLOCKING_CALLS = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.waitpid",
+    "select.select",
+    "shutil.copyfile",
+    "shutil.copytree",
+}
+
+#: Any call into these modules does synchronous I/O.
+BLOCKING_MODULES = ("socket", "subprocess", "requests", "urllib.request", "http.client")
+
+#: Constructors of synchronous (thread-blocking) queues.
+SYNC_QUEUE_TYPES = {
+    "queue.Queue",
+    "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "queue.SimpleQueue",
+}
+
+#: Methods of a synchronous queue that can block the caller.
+SYNC_QUEUE_BLOCKING_METHODS = {"get", "put", "join"}
+
+#: Constructors of synchronous (thread) locks.
+SYNC_LOCK_TYPES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+#: Wrappers that legitimately consume a coroutine object argument.
+COROUTINE_SINKS = {
+    "create_task",
+    "ensure_future",
+    "gather",
+    "wait",
+    "wait_for",
+    "shield",
+    "run",
+    "run_until_complete",
+    "run_coroutine_threadsafe",
+}
+
+#: Event-loop methods that are unsafe to call from a foreign thread.
+LOOP_UNSAFE_METHODS = {
+    "call_soon",
+    "call_later",
+    "call_at",
+    "create_task",
+    "run_until_complete",
+    "run_forever",
+}
+
+#: Names under which code conventionally stores an event-loop reference.
+LOOP_NAMES = {"loop", "_loop", "event_loop", "_event_loop"}
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _ImportTable:
+    """Resolve local names to the fully-qualified names they import."""
+
+    def __init__(self, module: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(module):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name of a call target, if known."""
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved_head = self.aliases.get(head, head)
+        return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+def _collect_async_names(
+    module: ast.Module,
+) -> Tuple[Set[str], Set[str], Dict[str, Set[str]]]:
+    """``(module async defs, module sync defs, class -> async methods)``.
+
+    ASYNC002 only resolves what it can resolve *precisely*: bare calls
+    to module-level ``async def``s, and ``self.method()`` against the
+    enclosing class's own async methods.  Calls on arbitrary objects
+    are skipped -- their types are unknown statically.
+    """
+    module_async: Set[str] = set()
+    module_sync: Set[str] = set()
+    class_async: Dict[str, Set[str]] = {}
+    for node in module.body:
+        if isinstance(node, ast.AsyncFunctionDef):
+            module_async.add(node.name)
+        elif isinstance(node, ast.FunctionDef):
+            module_sync.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            methods = {
+                child.name
+                for child in node.body
+                if isinstance(child, ast.AsyncFunctionDef)
+            }
+            if methods:
+                class_async[node.name] = methods
+    return module_async, module_sync, class_async
+
+
+def _collect_sync_queue_targets(
+    module: ast.Module, imports: _ImportTable
+) -> Set[str]:
+    """Dotted names (``x``, ``self.q``) assigned a synchronous queue."""
+    targets: Set[str] = set()
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Assign) or not isinstance(
+            node.value, ast.Call
+        ):
+            continue
+        constructor = imports.resolve(node.value.func)
+        if constructor not in SYNC_QUEUE_TYPES:
+            continue
+        for target in node.targets:
+            dotted = _dotted_name(target)
+            if dotted is not None:
+                targets.add(dotted)
+    return targets
+
+
+class AsyncSafetyVisitor(ast.NodeVisitor):
+    """Emits ASYNC001-ASYNC005 for one module."""
+
+    def __init__(self, path: str, module: ast.Module) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        self.imports = _ImportTable(module)
+        (
+            self.module_async,
+            self.module_sync,
+            self.class_async,
+        ) = _collect_async_names(module)
+        self.sync_queues = _collect_sync_queue_targets(module, self.imports)
+        self._function_stack: List[FunctionNode] = []
+        self._class_stack: List[ast.ClassDef] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def _in_async(self) -> bool:
+        return bool(self._function_stack) and isinstance(
+            self._function_stack[-1], ast.AsyncFunctionDef
+        )
+
+    @property
+    def _in_sync_function(self) -> bool:
+        return bool(self._function_stack) and isinstance(
+            self._function_stack[-1], ast.FunctionDef
+        )
+
+    def _emit(
+        self, node: ast.AST, rule: str, message: str, hint: str
+    ) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+                hint=hint,
+            )
+        )
+
+    # -- traversal ---------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_stack.append(node)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- ASYNC001: blocking call inside async def --------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._in_async:
+            self._check_blocking(node)
+        if self._in_sync_function:
+            self._check_loop_touch(node)
+        self.generic_visit(node)
+
+    def _check_blocking(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve(node.func)
+        blocked: Optional[str] = None
+        if resolved in BLOCKING_CALLS:
+            blocked = resolved
+        elif resolved is not None and any(
+            resolved == mod or resolved.startswith(mod + ".")
+            for mod in BLOCKING_MODULES
+        ):
+            blocked = resolved
+        elif resolved == "open" or resolved == "io.open":
+            blocked = "open"
+        elif isinstance(node.func, ast.Attribute):
+            owner = _dotted_name(node.func.value)
+            if (
+                owner in self.sync_queues
+                and node.func.attr in SYNC_QUEUE_BLOCKING_METHODS
+            ):
+                blocked = f"{owner}.{node.func.attr}"
+        if blocked is not None:
+            self._emit(
+                node,
+                "ASYNC001",
+                f"blocking call '{blocked}' inside 'async def "
+                f"{self._function_stack[-1].name}' stalls the event loop",
+                "use the asyncio equivalent (asyncio.sleep, streams, "
+                "asyncio.Queue) or run_in_executor",
+            )
+
+    # -- ASYNC002 / ASYNC003: discarded coroutines and task handles --------
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = node.value
+        if isinstance(call, ast.Call):
+            resolved = self.imports.resolve(call.func)
+            terminal = _terminal_name(call.func)
+            if (
+                resolved in ("asyncio.create_task", "asyncio.ensure_future")
+                or terminal in ("create_task", "ensure_future")
+            ):
+                self._emit(
+                    call,
+                    "ASYNC003",
+                    "task handle dropped: the task can be garbage-collected "
+                    "mid-flight and its exceptions are lost",
+                    "retain the handle (attribute or task set) and "
+                    "cancel/await it on teardown",
+                )
+            elif self._is_unawaited_coroutine_call(call):
+                self._emit(
+                    call,
+                    "ASYNC002",
+                    f"coroutine '{_terminal_name(call.func)}(...)' is "
+                    "never awaited: the call constructs a coroutine "
+                    "object and discards it",
+                    "await it, or wrap it in asyncio.create_task and "
+                    "retain the handle",
+                )
+        self.generic_visit(node)
+
+    def _is_unawaited_coroutine_call(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return (
+                func.id in self.module_async
+                and func.id not in self.module_sync
+            )
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and self._class_stack
+        ):
+            methods = self.class_async.get(self._class_stack[-1].name, set())
+            return func.attr in methods
+        return False
+
+    # -- ASYNC004: sync lock held across await -----------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        if self._in_async:
+            for item in node.items:
+                if not self._is_lockish(item.context_expr):
+                    continue
+                awaited = self._first_await(node.body)
+                if awaited is not None:
+                    self._emit(
+                        node,
+                        "ASYNC004",
+                        "synchronous lock held across 'await' (line "
+                        f"{awaited.lineno}): every other coroutine on the "
+                        "loop can deadlock behind it",
+                        "use asyncio.Lock with 'async with', or release "
+                        "before awaiting",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def _is_lockish(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Call):
+            name = _terminal_name(expr.func)
+            return name in SYNC_LOCK_TYPES
+        name = _terminal_name(expr)
+        if name is None:
+            return False
+        lowered = name.lower()
+        return "lock" in lowered or "mutex" in lowered
+
+    def _first_await(self, body: List[ast.stmt]) -> Optional[ast.Await]:
+        """First Await in ``body``, not descending into nested functions."""
+        stack: List[ast.AST] = list(body)
+        while stack:
+            current = stack.pop(0)
+            if isinstance(current, ast.Await):
+                return current
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(current))
+        return None
+
+    # -- ASYNC005: cross-thread event-loop touch ---------------------------
+
+    def _check_loop_touch(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in LOOP_UNSAFE_METHODS:
+            return
+        owner = node.func.value
+        owner_name = _terminal_name(owner)
+        if owner_name not in LOOP_NAMES:
+            return
+        # Calls on the *running* loop are on the loop thread by
+        # construction (get_running_loop raises elsewhere) -- but those
+        # are direct calls like asyncio.get_running_loop().create_task,
+        # whose owner is a Call, with no terminal name, so they never
+        # reach this point.
+        self._emit(
+            node,
+            "ASYNC005",
+            f"'{owner_name}.{node.func.attr}' called from a synchronous "
+            "function: if the caller is on another thread this corrupts "
+            "the event loop",
+            "use call_soon_threadsafe / asyncio.run_coroutine_threadsafe "
+            "(the runtime.deployment facade pattern)",
+        )
+
+
+def check_async_safety(path: str, module: ast.Module) -> List[Finding]:
+    visitor = AsyncSafetyVisitor(path, module)
+    visitor.visit(module)
+    return visitor.findings

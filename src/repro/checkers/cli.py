@@ -1,0 +1,118 @@
+"""``python -m repro lint`` -- command-line front end of repro-lint.
+
+Exit codes: 0 clean, 1 findings or unanalyzable files, 2 usage error.
+
+``--github`` renders findings as GitHub Actions workflow commands
+(``::error file=...,line=...``) so CI surfaces them as inline PR
+annotations; ``--stats`` appends per-rule counts (active and
+suppressed) plus analysis wall time, the numbers BENCH files track
+across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.checkers.engine import LintReport, run_lint
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding counts and analysis wall time",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="emit findings as GitHub Actions ::error annotations",
+    )
+    parser.add_argument(
+        "--no-protocol",
+        action="store_true",
+        help="skip the cross-file wire-protocol consistency rules",
+    )
+
+
+def render_report(
+    report: LintReport,
+    *,
+    stats: bool = False,
+    github: bool = False,
+    out: Optional[TextIO] = None,
+) -> None:
+    stream = out or sys.stdout
+    for finding in report.findings:
+        if github:
+            print(finding.render_github(), file=stream)
+        else:
+            print(finding.render(), file=stream)
+            if finding.hint:
+                print(f"    hint: {finding.hint}", file=stream)
+    for error in report.errors:
+        if github:
+            print(f"::error::{error}", file=stream)
+        else:
+            print(f"error: {error}", file=stream)
+
+    if report.suppressed:
+        budget = ", ".join(
+            f"{rule} x{count}"
+            for rule, count in sorted(report.suppressed_counts().items())
+        )
+        print(
+            f"suppression budget: {len(report.suppressed)} finding(s) "
+            f"disabled inline ({budget})",
+            file=stream,
+        )
+
+    if stats:
+        from repro.bench.reporting import print_table
+
+        print_table("repro-lint: per-rule statistics", report.stats_rows())
+        print(
+            f"analyzed {report.files_scanned} file(s) in "
+            f"{report.elapsed_seconds * 1e3:.1f} ms",
+            file=stream,
+        )
+
+    if report.clean and not github:
+        print(
+            f"ok: {report.files_scanned} file(s) lint-clean",
+            file=stream,
+        )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = run_lint(paths, protocol=not args.no_protocol)
+    render_report(report, stats=args.stats, github=args.github)
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.checkers.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based async-safety, wire-protocol and hygiene "
+        "checks for the Tulkun reproduction",
+    )
+    configure_parser(parser)
+    return cmd_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -1,0 +1,293 @@
+"""Wire-protocol consistency checker (rules PROTO001-PROTO005).
+
+A DVM message kind is *fully plumbed* when five artifacts agree:
+
+1. a ``TYPE_*`` constant in ``repro/dvm/messages.py``;
+2. an encode branch in ``encode_message`` that emits that type;
+3. a decode branch in ``_decode_body`` that parses it;
+4. a runtime dispatch handler -- the message class is matched in
+   ``OnDeviceVerifier.on_message`` (counting traffic) or in
+   ``repro.runtime.transport.is_control_frame`` (session control);
+5. a fuzz corpus entry -- the class is constructed in the wire fuzz
+   suite's ``sample_messages`` so truncation/corruption fuzzing covers
+   its codec path.
+
+Adding a message kind with partial plumbing historically surfaces as a
+``MessageDecodeError`` (or a silently ignored frame) on a production
+peer; this checker turns each missing artifact into a CI failure at the
+``TYPE_*`` definition line.  The check is purely static -- it
+cross-references the ASTs of the four files, so it needs no imports and
+runs on broken working trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.checkers.findings import Finding
+
+#: Repo-relative paths of the cross-checked artifacts.
+MESSAGES_PATH = Path("src/repro/dvm/messages.py")
+VERIFIER_PATH = Path("src/repro/dvm/verifier.py")
+TRANSPORT_PATH = Path("src/repro/runtime/transport.py")
+FUZZ_PATH = Path("tests/dvm/test_wire_fuzz.py")
+
+#: Function names anchoring each artifact.
+ENCODE_FUNCTION = "encode_message"
+DECODE_FUNCTION = "_decode_body"
+DISPATCH_FUNCTIONS = ("on_message",)
+CONTROL_FUNCTIONS = ("is_control_frame",)
+FUZZ_FUNCTIONS = ("sample_messages",)
+
+#: The abstract base class; never wired to a TYPE_* constant.
+BASE_CLASSES = {"Message"}
+
+
+@dataclass
+class ProtocolSurface:
+    """Everything the cross-check extracts from the four files."""
+
+    types: Dict[str, int] = field(default_factory=dict)  # TYPE_X -> lineno
+    encode_types: Set[str] = field(default_factory=set)
+    decode_types: Set[str] = field(default_factory=set)
+    type_to_class: Dict[str, str] = field(default_factory=dict)
+    message_classes: Dict[str, int] = field(default_factory=dict)
+    dispatched_classes: Set[str] = field(default_factory=set)
+    fuzzed_classes: Set[str] = field(default_factory=set)
+    fuzz_available: bool = False
+
+
+def _function(module: ast.Module, name: str) -> Optional[ast.AST]:
+    for node in ast.walk(module):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == name
+        ):
+            return node
+    return None
+
+
+def _names_in(node: Optional[ast.AST]) -> Set[str]:
+    if node is None:
+        return set()
+    return {
+        child.id for child in ast.walk(node) if isinstance(child, ast.Name)
+    }
+
+
+def _isinstance_classes(node: Optional[ast.AST]) -> Set[str]:
+    """Class names used as isinstance() targets within ``node``."""
+    classes: Set[str] = set()
+    if node is None:
+        return classes
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Name)
+            and child.func.id == "isinstance"
+            and len(child.args) == 2
+        ):
+            target = child.args[1]
+            candidates = (
+                list(target.elts) if isinstance(target, ast.Tuple) else [target]
+            )
+            for candidate in candidates:
+                if isinstance(candidate, ast.Name):
+                    classes.add(candidate.id)
+                elif isinstance(candidate, ast.Attribute):
+                    classes.add(candidate.attr)
+    return classes
+
+
+def _constructed_classes(node: Optional[ast.AST]) -> Set[str]:
+    """Names called like constructors (``Cls(...)``) within ``node``."""
+    constructed: Set[str] = set()
+    if node is None:
+        return constructed
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            if isinstance(child.func, ast.Name):
+                constructed.add(child.func.id)
+            elif isinstance(child.func, ast.Attribute):
+                constructed.add(child.func.attr)
+    return constructed
+
+
+def _encode_class_map(encode: Optional[ast.AST]) -> Dict[str, str]:
+    """Map ``TYPE_X -> class name`` from encode_message's branch shape.
+
+    Each branch tests ``isinstance(message, Cls)`` and assigns
+    ``kind = TYPE_X`` in its body; the pairing is recovered per If node.
+    """
+    mapping: Dict[str, str] = {}
+    if encode is None:
+        return mapping
+    for node in ast.walk(encode):
+        if not isinstance(node, ast.If):
+            continue
+        classes = _isinstance_classes(node.test)
+        if not classes:
+            continue
+        for child in node.body:
+            for assign in ast.walk(child):
+                if (
+                    isinstance(assign, ast.Assign)
+                    and isinstance(assign.value, ast.Name)
+                    and assign.value.id.startswith("TYPE_")
+                ):
+                    for cls in classes:
+                        mapping[assign.value.id] = cls
+    return mapping
+
+
+def _message_subclasses(module: ast.Module) -> Dict[str, int]:
+    """Classes deriving (directly) from Message, with their line."""
+    subclasses: Dict[str, int] = {}
+    for node in ast.walk(module):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {
+            base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+            for base in node.bases
+        }
+        if bases & (BASE_CLASSES | {"Message"}):
+            subclasses[node.name] = node.lineno
+    return subclasses
+
+
+def _parse(root: Path, relative: Path, overrides: Dict[str, str]) -> Optional[ast.Module]:
+    key = str(relative)
+    if key in overrides:
+        return ast.parse(overrides[key], filename=key)
+    path = root / relative
+    if not path.is_file():
+        return None
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+def extract_surface(
+    root: Path, overrides: Optional[Dict[str, str]] = None
+) -> Optional[ProtocolSurface]:
+    """Read the protocol surface from the repo at ``root``.
+
+    ``overrides`` maps repo-relative POSIX paths to replacement source
+    text (used by the drift tests to simulate deleted branches).
+    Returns None when the messages module itself is absent.
+    """
+    overrides = overrides or {}
+    messages = _parse(root, MESSAGES_PATH, overrides)
+    if messages is None:
+        return None
+    surface = ProtocolSurface()
+
+    for node in ast.walk(messages):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id.startswith(
+                    "TYPE_"
+                ):
+                    surface.types[target.id] = node.lineno
+
+    encode = _function(messages, ENCODE_FUNCTION)
+    decode = _function(messages, DECODE_FUNCTION)
+    surface.encode_types = {
+        name for name in _names_in(encode) if name.startswith("TYPE_")
+    }
+    surface.decode_types = {
+        name for name in _names_in(decode) if name.startswith("TYPE_")
+    }
+    surface.type_to_class = _encode_class_map(encode)
+    surface.message_classes = _message_subclasses(messages)
+
+    verifier = _parse(root, VERIFIER_PATH, overrides)
+    transport = _parse(root, TRANSPORT_PATH, overrides)
+    for module, functions in (
+        (verifier, DISPATCH_FUNCTIONS),
+        (transport, CONTROL_FUNCTIONS),
+    ):
+        if module is None:
+            continue
+        for name in functions:
+            surface.dispatched_classes |= _isinstance_classes(
+                _function(module, name)
+            )
+
+    fuzz = _parse(root, FUZZ_PATH, overrides)
+    if fuzz is not None:
+        surface.fuzz_available = True
+        for name in FUZZ_FUNCTIONS:
+            surface.fuzzed_classes |= _constructed_classes(
+                _function(fuzz, name)
+            )
+    return surface
+
+
+def check_protocol(
+    root: Path, overrides: Optional[Dict[str, str]] = None
+) -> List[Finding]:
+    """Cross-check the DVM protocol surface; one finding per gap."""
+    surface = extract_surface(root, overrides)
+    if surface is None:
+        return []
+    findings: List[Finding] = []
+    path = str(MESSAGES_PATH)
+
+    def emit(line: int, rule: str, message: str, hint: str) -> None:
+        findings.append(
+            Finding(path=path, line=line, col=1, rule=rule,
+                    message=message, hint=hint)
+        )
+
+    for type_name, line in sorted(surface.types.items()):
+        cls = surface.type_to_class.get(type_name)
+        if type_name not in surface.encode_types:
+            emit(
+                line,
+                "PROTO001",
+                f"{type_name} has no encode branch in {ENCODE_FUNCTION}()",
+                "add an isinstance branch producing this frame kind",
+            )
+        if type_name not in surface.decode_types:
+            emit(
+                line,
+                "PROTO002",
+                f"{type_name} has no decode branch in {DECODE_FUNCTION}()",
+                "add the kind comparison and body parser; peers otherwise "
+                "raise MessageDecodeError on this frame",
+            )
+        if cls is not None and cls not in surface.dispatched_classes:
+            emit(
+                line,
+                "PROTO003",
+                f"{cls} ({type_name}) is not dispatched in "
+                "OnDeviceVerifier.on_message or is_control_frame",
+                "handle the class in the verifier dispatch (or mark it a "
+                "session control frame in transport.is_control_frame)",
+            )
+        if cls is not None and cls not in surface.fuzzed_classes:
+            emit(
+                line,
+                "PROTO004",
+                f"{cls} ({type_name}) has no fuzz corpus entry in "
+                f"{FUZZ_PATH.name}:sample_messages",
+                "add a representative instance so truncation/corruption "
+                "fuzzing covers its codec path",
+            )
+
+    wired_classes = set(surface.type_to_class.values())
+    for cls, line in sorted(surface.message_classes.items()):
+        if cls in BASE_CLASSES:
+            continue
+        if cls not in wired_classes:
+            emit(
+                line,
+                "PROTO005",
+                f"message class {cls} is not wired to any TYPE_* constant "
+                f"in {ENCODE_FUNCTION}()",
+                "add a TYPE_* constant plus encode/decode branches, or "
+                "remove the dead class",
+            )
+    return findings

@@ -10,11 +10,15 @@ Commands:
   (one verifier agent per device over real localhost sockets), verify
   reachability, inject a rule update, a link failure and a forced
   connection drop, and print per-device traffic metrics.
+* ``lint``      -- run the repro-lint static analyzers (async-safety,
+  DVM wire-protocol consistency, hygiene) over the codebase; see
+  :mod:`repro.checkers` and ``docs/STATIC_ANALYSIS.md``.
 
 Examples::
 
     python -m repro demo
     python -m repro datasets
+    python -m repro lint src/ --stats
     python -m repro verify --dataset INet2 \
         --invariant "(dstIP = 10.0.0.0/24, [INet2-r1], \
                       (exist >= 1, INet2-r1.*INet2-r0 and loop_free))"
@@ -210,6 +214,12 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.checkers.cli import cmd_lint
+
+    return cmd_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -279,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=60.0,
         help="per-operation convergence deadline in seconds (default: 60)",
     )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro-lint static analyzers (exit 1 on findings)",
+    )
+    from repro.checkers.cli import configure_parser as _configure_lint
+
+    _configure_lint(lint)
     return parser
 
 
@@ -289,6 +307,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "verify": _cmd_verify,
         "testbed": _cmd_testbed,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -14,7 +14,7 @@ different universes to avoid information explosion").
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.spec.ast import CountExpr
 
@@ -139,7 +139,7 @@ class CountSet:
     def __len__(self) -> int:
         return len(self.tuples)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
         return iter(sorted(self.tuples))
 
     def __repr__(self) -> str:

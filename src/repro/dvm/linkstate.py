@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Set, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
 from repro.dvm.messages import (
     Message,
@@ -77,7 +77,7 @@ class LinkStateDatabase:
         self._failed: Set[Tuple[str, str]] = set()
 
     @property
-    def failed_links(self) -> frozenset:
+    def failed_links(self) -> FrozenSet[Tuple[str, str]]:
         return frozenset(self._failed)
 
     def _normalize(self, link: Tuple[str, str]) -> Tuple[str, str]:

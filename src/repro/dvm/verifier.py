@@ -17,8 +17,8 @@ step 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.counting.counts import CountSet, cross_sum_all, union_all
 from repro.dataplane.actions import ANY, Action, Forward
@@ -38,6 +38,8 @@ from repro.dvm.messages import (
     UpdateMessage,
 )
 from repro.packetspace.predicate import Predicate, PredicateFactory
+from repro.packetspace.transform import Rewrite
+from repro.planner.dpvnet import Label
 from repro.planner.tasks import DeviceTask, NodeTask, Plan
 
 Outgoing = List[Tuple[str, Message]]
@@ -140,7 +142,7 @@ class OnDeviceVerifier:
         self.linkstate = LinkStateDatabase()
         self._contexts: Dict[str, _PlanContext] = {}
         self.violations: List[Violation] = []
-        self.unplanned_scene_reports: List[frozenset] = []
+        self.unplanned_scene_reports: List[FrozenSet[Tuple[str, str]]] = []
         # counters for the §9.4 microbenchmarks
         self.messages_received = 0
         self.messages_sent = 0
@@ -266,7 +268,9 @@ class OnDeviceVerifier:
                     )
         return verdicts
 
-    def local_counts(self, plan_id: str):
+    def local_counts(
+        self, plan_id: str
+    ) -> List[Tuple[str, Predicate, CountSet]]:
         """Per-node counting results on this device: [(node_id, predicate,
         counts)].
 
@@ -279,7 +283,7 @@ class OnDeviceVerifier:
         context = self._contexts.get(plan_id)
         if context is None:
             return []
-        results = []
+        results: List[Tuple[str, Predicate, CountSet]] = []
         for state in context.bottom_up:
             for predicate, counts in state.loc.lookup(state.interest):
                 results.append((state.task.node_id, predicate, counts))
@@ -433,7 +437,9 @@ class OnDeviceVerifier:
     # ------------------------------------------------------------------
     # counting core
 
-    def _states_bottom_up(self, context: _PlanContext):
+    def _states_bottom_up(
+        self, context: _PlanContext
+    ) -> Tuple[_NodeState, ...]:
         return context.bottom_up
 
     def _affected_region(self, state: _NodeState, affected: Predicate) -> Predicate:
@@ -565,7 +571,7 @@ class OnDeviceVerifier:
         state: _NodeState,
         child_ids: Sequence[str],
         original: Predicate,
-        rewrite,
+        rewrite: Rewrite,
     ) -> Outgoing:
         """SUBSCRIBE children to the transformed predicate (once per child)."""
         outgoing: Outgoing = []
@@ -705,7 +711,9 @@ def _combine(
     return cross_sum_all(dim, parts)
 
 
-def _all_children(task: DeviceTask):
+def _all_children(
+    task: DeviceTask,
+) -> Iterator[Tuple[str, str, FrozenSet[Label]]]:
     for node in task.nodes:
         for child in node.children:
             yield child

@@ -16,7 +16,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.packetspace.predicate import Predicate
 from repro.planner.dpvnet import DpvNet, Label, PlannerError, build_dpvnet
@@ -97,7 +106,7 @@ class Plan:
         """Evaluate the behavior formula for one universe's count tuple."""
         return self._evaluator(counts)
 
-    def holds(self, count_tuples) -> bool:
+    def holds(self, count_tuples: Iterable[Tuple[int, ...]]) -> bool:
         """True when every universe satisfies the behavior."""
         return all(self.universe_satisfies(element) for element in count_tuples)
 

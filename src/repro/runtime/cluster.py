@@ -21,18 +21,28 @@ tail does not inflate reported wall times.
 from __future__ import annotations
 
 import asyncio
+import logging
 import random
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.dvm.messages import Message, OpenMessage
-from repro.dvm.verifier import OnDeviceVerifier, RootVerdict, Violation
+from repro.dataplane.fib import Fib
+from repro.dvm.messages import Message, MessageDecodeError, OpenMessage
+from repro.dvm.verifier import (
+    OnDeviceVerifier,
+    Outgoing,
+    RootVerdict,
+    Violation,
+)
 from repro.packetspace.predicate import PredicateFactory
 from repro.planner.tasks import Plan
 from repro.runtime.connection import BackoffPolicy, PeerSession, SessionEvents
 from repro.runtime.metrics import ClusterMetrics, DeviceMetrics
 from repro.runtime.transport import SESSION_PLAN, FramedChannel
 from repro.topology.graph import Topology
+
+
+logger = logging.getLogger(__name__)
 
 
 class ClusterTimeoutError(RuntimeError):
@@ -61,10 +71,10 @@ class DeviceHost:
         self.cluster = cluster
         self.sessions: Dict[str, PeerSession] = {}
         self.installed_plans: List[str] = []
-        self.inbox: "asyncio.Queue" = asyncio.Queue()
-        self.server: Optional[asyncio.base_events.Server] = None
+        self.inbox: "asyncio.Queue[Message]" = asyncio.Queue()
+        self.server: Optional[asyncio.Server] = None
         self.port: int = 0
-        self._pump_task: Optional[asyncio.Task] = None
+        self._pump_task: Optional["asyncio.Task[None]"] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -102,7 +112,22 @@ class DeviceHost:
             first = await asyncio.wait_for(
                 channel.receive(), timeout=self.cluster.handshake_timeout
             )
-        except Exception:
+        except (
+            asyncio.TimeoutError,
+            MessageDecodeError,
+            ConnectionError,
+            OSError,
+        ) as exc:
+            # A peer that dials and then stalls, resets, or sends
+            # garbage before its OPEN: refuse the connection, but leave
+            # a trace -- silent handshake failures made reconnect storms
+            # undiagnosable.
+            self.metrics.handshake_failures += 1
+            logger.debug(
+                "%s: inbound handshake failed before OPEN: %r",
+                self.device,
+                exc,
+            )
             await channel.close()
             return
         if (
@@ -134,7 +159,7 @@ class DeviceHost:
             self.route(outgoing)
             self.cluster.note_activity()
 
-    def route(self, outgoing) -> None:
+    def route(self, outgoing: Outgoing) -> None:
         for destination, message in outgoing:
             session = self.sessions.get(destination)
             if session is not None and session.send(message):
@@ -143,7 +168,7 @@ class DeviceHost:
             # exactly like a TCP connection stalling over a dead link;
             # the re-OPEN refresh repairs state on reconnect.
 
-    def call(self, handler: Callable[[], list]) -> None:
+    def call(self, handler: Callable[[], Outgoing]) -> None:
         """Run a verifier entry point and transmit what it emits."""
         self.route(handler())
         self.cluster.note_activity()
@@ -169,7 +194,7 @@ class RuntimeCluster:
     def __init__(
         self,
         topology: Topology,
-        fibs: Dict[str, "Fib"],
+        fibs: Dict[str, Fib],
         factory: PredicateFactory,
         *,
         keepalive_interval: float = 0.5,
@@ -195,7 +220,7 @@ class RuntimeCluster:
         self.handshake_timeout = handshake_timeout
         self.hosts: Dict[str, DeviceHost] = {}
         self._plans: Dict[str, Plan] = {}
-        self._failed_links: set = set()
+        self._failed_links: Set[Tuple[str, str]] = set()
         self._activity = 0
         self._last_activity_wall = time.monotonic()
         self._started = False

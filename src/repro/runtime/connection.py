@@ -28,7 +28,7 @@ import asyncio
 import random
 import time
 from dataclasses import dataclass
-from typing import Awaitable, Callable, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.dvm.messages import (
     Message,
@@ -105,8 +105,8 @@ class PeerSession:
         self.rng = rng or random.Random()
         self.established = asyncio.Event()
         self._channel: Optional[FramedChannel] = None
-        self._serve_task: Optional[asyncio.Task] = None
-        self._dial_task: Optional[asyncio.Task] = None
+        self._serve_task: Optional["asyncio.Task[None]"] = None
+        self._dial_task: Optional["asyncio.Task[None]"] = None
         self._stopped = False
         self._suspend_until = 0.0
         self._ever_established = False

@@ -19,13 +19,32 @@ from __future__ import annotations
 import asyncio
 import threading
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Callable, Dict, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Coroutine,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from repro.core.errors import TulkunError
+from repro.counting.counts import CountSet
+from repro.dataplane.fib import Fib
+from repro.dvm.verifier import RootVerdict, Violation
+from repro.packetspace.predicate import Predicate
 from repro.planner import Plan
 from repro.runtime.cluster import RuntimeCluster
 from repro.runtime.metrics import ClusterMetrics
 from repro.spec.ast import Invariant
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime only
+    from repro.core.api import Report, Tulkun
+
+_T = TypeVar("_T")
 
 
 class RuntimeDeployment:
@@ -34,8 +53,8 @@ class RuntimeDeployment:
     def __init__(
         self,
         tulkun: "Tulkun",
-        fibs: Dict[str, "Fib"],
-        **cluster_options,
+        fibs: Dict[str, Fib],
+        **cluster_options: Any,
     ) -> None:
         self.tulkun = tulkun
         self.plans: Dict[str, Plan] = {}
@@ -61,7 +80,11 @@ class RuntimeDeployment:
 
     # -- loop plumbing -----------------------------------------------------
 
-    def _submit(self, coroutine, timeout: Optional[float] = None):
+    def _submit(
+        self,
+        coroutine: "Coroutine[Any, Any, _T]",
+        timeout: Optional[float] = None,
+    ) -> _T:
         if self._closed:
             coroutine.close()  # never awaited; suppress the warning
             raise TulkunError("runtime deployment is closed")
@@ -91,17 +114,19 @@ class RuntimeDeployment:
     def __enter__(self) -> "RuntimeDeployment":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- verification ------------------------------------------------------
 
-    def verify(self, invariant: Invariant, max_paths: int = 200_000):
+    def verify(
+        self, invariant: Invariant, max_paths: int = 200_000
+    ) -> "Report":
         """Plan, distribute and verify one invariant to convergence."""
         plan = self.tulkun.plan(invariant, max_paths)
         return self.verify_plan(plan)
 
-    def verify_plan(self, plan: Plan):
+    def verify_plan(self, plan: Plan) -> "Report":
         plan_id = f"plan-{next(self.tulkun._plan_ids)}"
         self.plans[plan_id] = plan
         messages_before = self.cluster.metrics.total_messages
@@ -111,7 +136,7 @@ class RuntimeDeployment:
             plan_id, plan, elapsed, messages_before, bytes_before
         )
 
-    def reverify(self, plan_id: Optional[str] = None) -> List:
+    def reverify(self, plan_id: Optional[str] = None) -> List["Report"]:
         """Current verdicts of installed plans (no new computation)."""
         selected = (
             {plan_id: self.plans[plan_id]} if plan_id else dict(self.plans)
@@ -134,7 +159,7 @@ class RuntimeDeployment:
         elapsed: float,
         messages_before: int,
         bytes_before: int,
-    ):
+    ) -> "Report":
         from repro.core.api import Report
 
         verdicts, violations = self._submit(
@@ -155,7 +180,9 @@ class RuntimeDeployment:
             message_bytes=self.cluster.metrics.total_bytes - bytes_before,
         )
 
-    async def _snapshot(self, plan_id: str):
+    async def _snapshot(
+        self, plan_id: str
+    ) -> Tuple[List[RootVerdict], List[Violation]]:
         """Read verdicts on the loop thread (between handler runs)."""
         verdicts = self.cluster.verdicts(plan_id)
         violations = [
@@ -183,14 +210,18 @@ class RuntimeDeployment:
         """Force a TCP drop on link (a, b), wait for backoff-reconnect."""
         return self._submit(self.cluster.drop_connection(a, b, hold_down))
 
-    def device_counts(self, plan_id: str, device: str):
+    def device_counts(
+        self, plan_id: str, device: str
+    ) -> List[Tuple[str, Predicate, CountSet]]:
         """A device's own counting results for one plan (§7)."""
         return self._submit(self._device_counts(plan_id, device))
 
-    async def _device_counts(self, plan_id: str, device: str):
+    async def _device_counts(
+        self, plan_id: str, device: str
+    ) -> List[Tuple[str, Predicate, CountSet]]:
         return self.cluster.hosts[device].verifier.local_counts(plan_id)
 
-    def reports(self) -> List:
+    def reports(self) -> List["Report"]:
         return self.reverify()
 
     def holds(self, plan_id: str) -> bool:

@@ -28,6 +28,7 @@ class DeviceMetrics:
     control_bytes_in: int = 0
     control_bytes_out: int = 0
     decode_errors: int = 0
+    handshake_failures: int = 0
     reconnects: int = 0
     sessions_established: int = 0
     peer_down_events: int = 0
@@ -41,6 +42,7 @@ class DeviceMetrics:
             "ctrl frames": self.control_in + self.control_out,
             "reconnects": self.reconnects,
             "decode errs": self.decode_errors,
+            "hs fails": self.handshake_failures,
             "peer downs": self.peer_down_events,
         }
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.dvm.messages import (
     KeepaliveMessage,
@@ -87,9 +87,9 @@ class FramedChannel:
         self._writer = writer
         self._assembler = FrameAssembler(factory)
         self._metrics = metrics
-        self._send_queue: "asyncio.Queue" = asyncio.Queue()
+        self._send_queue: "asyncio.Queue[Tuple[bytes, bool]]" = asyncio.Queue()
         self._received: List[Message] = []
-        self._writer_task: Optional[asyncio.Task] = None
+        self._writer_task: Optional["asyncio.Task[None]"] = None
         self._closing = False
         self.last_rx = time.monotonic()
 

@@ -1,0 +1,31 @@
+"""ASYNC001: blocking calls inside ``async def`` stall the event loop."""
+
+import queue
+import socket
+import subprocess
+import time
+
+work = queue.Queue()
+
+
+async def heartbeat() -> None:
+    time.sleep(0.5)  # expect: ASYNC001
+
+
+async def probe(host: str) -> None:
+    sock = socket.create_connection((host, 80))  # expect: ASYNC001
+    sock.close()
+
+
+async def drain() -> None:
+    work.get(timeout=1.0)  # expect: ASYNC001
+
+
+async def shell() -> None:
+    subprocess.run(["true"])  # expect: ASYNC001
+
+
+def sync_path() -> None:
+    # The same calls are fine outside coroutines.
+    time.sleep(0.0)
+    work.put(None)

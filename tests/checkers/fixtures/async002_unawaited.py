@@ -1,0 +1,19 @@
+"""ASYNC002: coroutine constructed but never awaited (silently dropped)."""
+
+
+async def refresh() -> None:
+    pass
+
+
+async def caller() -> None:
+    refresh()  # expect: ASYNC002
+    await refresh()
+
+
+class Agent:
+    async def reconnect(self) -> None:
+        pass
+
+    async def on_loss(self) -> None:
+        self.reconnect()  # expect: ASYNC002
+        await self.reconnect()

@@ -1,0 +1,16 @@
+"""ASYNC003: ``create_task`` handle dropped -- the task can be GC'd mid-run."""
+
+import asyncio
+
+
+async def worker() -> None:
+    await asyncio.sleep(0)
+
+
+async def spawn_and_forget() -> None:
+    asyncio.create_task(worker())  # expect: ASYNC003
+
+
+async def spawn_and_keep() -> "asyncio.Task[None]":
+    handle = asyncio.create_task(worker())
+    return handle

@@ -1,0 +1,17 @@
+"""ASYNC004: a synchronous lock held across ``await`` blocks other tasks."""
+
+import asyncio
+import threading
+
+state_lock = threading.Lock()
+
+
+async def update_state() -> None:
+    with state_lock:  # expect: ASYNC004
+        await asyncio.sleep(0.1)
+
+
+async def quick_touch() -> None:
+    with state_lock:
+        pass  # no await inside: fine
+    await asyncio.sleep(0)

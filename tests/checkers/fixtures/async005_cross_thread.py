@@ -1,0 +1,30 @@
+"""ASYNC005: touching an event loop from a plain (non-async) function.
+
+Calling ``loop.call_soon`` or ``loop.create_task`` from another thread
+is not thread-safe; such code must go through
+``loop.call_soon_threadsafe`` / ``asyncio.run_coroutine_threadsafe``.
+"""
+
+import asyncio
+
+
+async def job() -> None:
+    await asyncio.sleep(0)
+
+
+class Facade:
+    def __init__(self, loop: "asyncio.AbstractEventLoop") -> None:
+        self._loop = loop
+
+    def poke(self) -> None:
+        self._loop.call_soon(print)  # expect: ASYNC005
+
+    def spawn(self) -> None:
+        self.task = self._loop.create_task(job())  # expect: ASYNC005
+
+    def poke_safely(self) -> None:
+        self._loop.call_soon_threadsafe(print)
+
+    async def poke_inside(self) -> None:
+        # From coroutine context the plain call is correct.
+        self._loop.call_soon(print)

@@ -1,0 +1,59 @@
+"""EXC001: blanket ``except Exception`` that swallows the failure."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+failures = 0
+
+
+class Metrics:
+    errors = 0
+
+
+metrics = Metrics()
+
+
+def swallow() -> None:
+    try:
+        risky()
+    except Exception:  # expect: EXC001
+        pass
+
+
+def swallow_bare() -> None:
+    try:
+        risky()
+    except:  # noqa: E722  # expect: EXC001
+        return
+
+
+def logged() -> None:
+    try:
+        risky()
+    except Exception:
+        logger.exception("risky failed")
+
+
+def counted() -> None:
+    try:
+        risky()
+    except Exception:
+        metrics.errors += 1
+
+
+def reraised() -> None:
+    try:
+        risky()
+    except Exception:
+        raise
+
+
+def narrow_is_fine() -> None:
+    try:
+        risky()
+    except ValueError:
+        pass
+
+
+def risky() -> None:
+    raise ValueError("boom")

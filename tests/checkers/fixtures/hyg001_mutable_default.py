@@ -1,0 +1,25 @@
+"""HYG001: mutable default argument shared across calls."""
+
+from typing import Dict, List, Optional
+
+
+def collect(item: int, bucket: List[int] = []) -> List[int]:  # expect: HYG001
+    bucket.append(item)
+    return bucket
+
+
+def index(key: str, table: Dict[str, int] = {}) -> Dict[str, int]:  # expect: HYG001
+    table[key] = len(table)
+    return table
+
+
+def tagged(name: str, tags=set()):  # expect: HYG001
+    tags.add(name)
+    return tags
+
+
+def safe(item: int, bucket: Optional[List[int]] = None) -> List[int]:
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

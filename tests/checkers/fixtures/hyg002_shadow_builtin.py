@@ -1,0 +1,13 @@
+"""HYG002: parameters shadowing builtins hide them for the whole body."""
+
+
+def render(type: str) -> str:  # expect: HYG002
+    return type.upper()
+
+
+def lookup(id: int, dict: object) -> object:  # expect: HYG002,HYG002
+    return (id, dict)
+
+
+def fine(kind: str, type_: str, mapping: object) -> tuple:
+    return (kind, type_, mapping)

@@ -1,0 +1,27 @@
+"""mypy gate: repro.dvm and repro.runtime type-check strictly.
+
+Skips when mypy is not installed (it is an optional ``lint`` extra; CI
+installs it).  The configuration lives in pyproject.toml: strict flags
+for the protocol-critical packages, permissive everywhere else.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy", reason="mypy not installed (pip install .[lint])")
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_mypy_passes_on_strict_packages():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,189 @@
+"""Wire-protocol consistency: the repo is fully plumbed, and any
+single-artifact drift (dropped decode branch, missing fuzz entry,
+unplumbed new TYPE_*) is detected.
+
+Drift is simulated by rewriting one function's source region and feeding
+the mutated text to the checker via ``overrides`` -- the files on disk
+are never touched.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.checkers import check_protocol, extract_surface
+from repro.checkers.protocol import (
+    DECODE_FUNCTION,
+    ENCODE_FUNCTION,
+    FUZZ_PATH,
+    MESSAGES_PATH,
+    VERIFIER_PATH,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+
+EXPECTED_TYPES = {
+    "TYPE_OPEN": "OpenMessage",
+    "TYPE_KEEPALIVE": "KeepaliveMessage",
+    "TYPE_UPDATE": "UpdateMessage",
+    "TYPE_SUBSCRIBE": "SubscribeMessage",
+    "TYPE_LINKSTATE": "LinkStateMessage",
+}
+
+
+def _read(relative: Path) -> str:
+    return (ROOT / relative).read_text(encoding="utf-8")
+
+
+def _rename_in_function(source: str, function: str, old: str, new: str) -> str:
+    """Rename ``old`` -> ``new`` only inside ``function``'s body."""
+    module = ast.parse(source)
+    for node in ast.walk(module):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == function
+        ):
+            lines = source.splitlines(keepends=True)
+            start, end = node.lineno - 1, node.end_lineno
+            block = "".join(lines[start:end])
+            assert old in block, f"{old!r} not found in {function}()"
+            return (
+                "".join(lines[:start])
+                + block.replace(old, new)
+                + "".join(lines[end:])
+            )
+    raise AssertionError(f"no function {function!r} in source")
+
+
+# -- the repo itself is fully plumbed ------------------------------------
+
+
+def test_surface_maps_every_type_to_its_class():
+    surface = extract_surface(ROOT)
+    assert surface is not None
+    assert set(surface.types) == set(EXPECTED_TYPES)
+    assert surface.type_to_class == EXPECTED_TYPES
+    assert surface.fuzz_available
+
+
+def test_repo_protocol_is_consistent():
+    assert check_protocol(ROOT) == []
+
+
+# -- drift detection: each artifact, for every message kind --------------
+
+
+@pytest.mark.parametrize("type_name", sorted(EXPECTED_TYPES))
+def test_deleting_any_decode_branch_fails(type_name):
+    mutated = _rename_in_function(
+        _read(MESSAGES_PATH), DECODE_FUNCTION, type_name, "TYPE_GONE"
+    )
+    findings = check_protocol(
+        ROOT, overrides={str(MESSAGES_PATH): mutated}
+    )
+    assert any(
+        f.rule == "PROTO002" and type_name in f.message for f in findings
+    )
+
+
+@pytest.mark.parametrize("type_name", sorted(EXPECTED_TYPES))
+def test_deleting_any_encode_branch_fails(type_name):
+    mutated = _rename_in_function(
+        _read(MESSAGES_PATH), ENCODE_FUNCTION, type_name, "TYPE_GONE"
+    )
+    findings = check_protocol(
+        ROOT, overrides={str(MESSAGES_PATH): mutated}
+    )
+    assert any(
+        f.rule == "PROTO001" and type_name in f.message for f in findings
+    )
+
+
+@pytest.mark.parametrize(
+    "class_name",
+    sorted(set(EXPECTED_TYPES.values()) - {"LinkStateMessage"}),
+)
+def test_deleting_any_fuzz_entry_fails(class_name):
+    # LinkStateMessage aside (its constructor spans the corpus too),
+    # renaming the class inside sample_messages removes its corpus entry.
+    mutated = _rename_in_function(
+        _read(FUZZ_PATH), "sample_messages", class_name, "Renamed"
+    )
+    findings = check_protocol(ROOT, overrides={str(FUZZ_PATH): mutated})
+    assert any(
+        f.rule == "PROTO004" and class_name in f.message for f in findings
+    )
+
+
+def test_deleting_linkstate_fuzz_entry_fails():
+    mutated = _rename_in_function(
+        _read(FUZZ_PATH), "sample_messages", "LinkStateMessage", "Renamed"
+    )
+    findings = check_protocol(ROOT, overrides={str(FUZZ_PATH): mutated})
+    assert any(
+        f.rule == "PROTO004" and "LinkStateMessage" in f.message
+        for f in findings
+    )
+
+
+def test_removing_dispatch_fails():
+    mutated = _rename_in_function(
+        _read(VERIFIER_PATH), "on_message", "SubscribeMessage", "Renamed"
+    )
+    findings = check_protocol(
+        ROOT, overrides={str(VERIFIER_PATH): mutated}
+    )
+    assert any(
+        f.rule == "PROTO003" and "SubscribeMessage" in f.message
+        for f in findings
+    )
+
+
+def test_new_type_constant_without_plumbing_fails():
+    mutated = _read(MESSAGES_PATH) + "\nTYPE_PING = 9\n"
+    findings = check_protocol(
+        ROOT, overrides={str(MESSAGES_PATH): mutated}
+    )
+    rules = {f.rule for f in findings if "TYPE_PING" in f.message}
+    assert rules == {"PROTO001", "PROTO002"}
+
+
+def test_new_message_class_without_wiring_fails():
+    mutated = _read(MESSAGES_PATH) + (
+        "\n\n@dataclass(frozen=True)\n"
+        "class PingMessage(Message):\n"
+        "    device: str\n"
+    )
+    findings = check_protocol(
+        ROOT, overrides={str(MESSAGES_PATH): mutated}
+    )
+    assert any(
+        f.rule == "PROTO005" and "PingMessage" in f.message
+        for f in findings
+    )
+
+
+def test_findings_anchor_at_the_type_definition_line():
+    source = _read(MESSAGES_PATH)
+    mutated = _rename_in_function(
+        source, DECODE_FUNCTION, "TYPE_SUBSCRIBE", "TYPE_GONE"
+    )
+    findings = [
+        f
+        for f in check_protocol(ROOT, overrides={str(MESSAGES_PATH): mutated})
+        if f.rule == "PROTO002"
+    ]
+    assert len(findings) == 1
+    declaration_line = next(
+        lineno
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        if line.startswith("TYPE_SUBSCRIBE")
+    )
+    assert findings[0].line == declaration_line
+    assert findings[0].path == str(MESSAGES_PATH)
+
+
+def test_absent_messages_module_disables_protocol_rules(tmp_path):
+    assert extract_surface(tmp_path) is None
+    assert check_protocol(tmp_path) == []
