@@ -1,0 +1,79 @@
+"""Telemetry overhead microbench: tracing must stay cheap.
+
+Tracing is opt-in; when it *is* on, the acceptance budget is <= 10 %
+wall-clock overhead on the INet2 burst workload.  Wall times on a busy
+CI box are noisy, so both variants run interleaved and the comparison
+uses best-of-N (the minimum is the least-perturbed sample of a
+deterministic computation); a small epsilon absorbs timer jitter on the
+sub-100 ms runs.
+"""
+
+import time
+
+from conftest import write_table
+
+from repro.bench.reporting import format_seconds, print_table
+from repro.bench.runners import run_tulkun_burst
+from repro.bench.workloads import build_workload
+from repro.obs.trace import Tracer
+
+ROUNDS = 5
+OVERHEAD_BUDGET = 1.10
+EPSILON_SECONDS = 0.020
+
+
+def _one_burst(tracer):
+    workload = build_workload("INet2", max_destinations=3)
+    start = time.perf_counter()
+    timing = run_tulkun_burst(workload, tracer=tracer)
+    return time.perf_counter() - start, timing, tracer
+
+
+def run_interleaved():
+    _one_burst(None)  # warmup: prime caches and imports
+    plain_walls, traced_walls = [], []
+    last_plain = last_traced = None
+    for _ in range(ROUNDS):
+        wall, timing, _ = _one_burst(None)
+        plain_walls.append(wall)
+        last_plain = timing
+        wall, timing, tracer = _one_burst(Tracer())
+        traced_walls.append(wall)
+        last_traced = (timing, tracer)
+    return plain_walls, traced_walls, last_plain, last_traced
+
+
+def test_tracing_overhead_within_budget(benchmark, out_dir):
+    plain_walls, traced_walls, plain, (traced, tracer) = benchmark.pedantic(
+        run_interleaved, rounds=1, iterations=1
+    )
+    plain_best = min(plain_walls)
+    traced_best = min(traced_walls)
+    records = len(tracer)
+    rows = [
+        {
+            "variant": "tracing off",
+            "best wall": format_seconds(plain_best),
+            "median wall": format_seconds(sorted(plain_walls)[len(plain_walls) // 2]),
+            "records": 0,
+        },
+        {
+            "variant": "tracing on",
+            "best wall": format_seconds(traced_best),
+            "median wall": format_seconds(sorted(traced_walls)[len(traced_walls) // 2]),
+            "records": records,
+        },
+    ]
+    text = print_table("Telemetry overhead: INet2 burst", rows)
+    write_table(out_dir, "obs_overhead.txt", text)
+
+    assert records > 0, "tracer attached but recorded nothing"
+    # Identical counting traffic either way (the paper-metric outputs
+    # are untouched by observation).
+    assert traced.messages == plain.messages
+    assert traced.bytes == plain.bytes
+    assert traced_best <= plain_best * OVERHEAD_BUDGET + EPSILON_SECONDS, (
+        f"tracing overhead {traced_best / plain_best:.2f}x exceeds "
+        f"{OVERHEAD_BUDGET:.2f}x budget "
+        f"({format_seconds(plain_best)} -> {format_seconds(traced_best)})"
+    )

@@ -19,6 +19,13 @@ from repro.bench.runners import (
     run_tulkun_incremental,
 )
 from repro.bench.workloads import build_workload, random_rule_updates
+from repro.obs.schema import (
+    DIRECTION_OUT,
+    DVM_METRIC_NAMES,
+    KIND_CONTROL,
+    KIND_COUNTING,
+)
+from repro.obs.trace import Tracer
 
 NUM_UPDATES = 10
 
@@ -82,6 +89,71 @@ def test_backends_reach_identical_verdicts(benchmark):
             canonical_verdicts(network.verdicts(plan_id))
         ), f"verdict mismatch for {plan_id}"
         assert runtime.holds[plan_id] == network.holds(plan_id)
+
+
+def test_backends_export_one_metric_schema():
+    """Both backends register the exact instrument set of
+    :mod:`repro.obs.schema` -- same names, kinds, labels and buckets --
+    so dashboards and the assertions below read either registry."""
+    (_, _, _, sim_inc, _, runtime) = run_parity()
+    sim_registry = sim_inc.network.stats.registry
+    rt_registry = runtime.metrics.registry
+
+    def schema(registry):
+        return {
+            family.name: family.signature()
+            for family in registry.families()
+        }
+
+    assert schema(sim_registry) == schema(rt_registry)
+    assert set(sim_registry.names()) == set(DVM_METRIC_NAMES)
+
+
+def test_control_plane_split_is_parity_checkable():
+    """The counting/control split holds per backend: the simulator has
+    no session layer so its control series exist but stay zero, while
+    the runtime's keepalives and session OPENs land only in control."""
+    (_, _, _, sim_inc, _, runtime) = run_parity()
+    sim_messages = sim_inc.network.stats.families["dvm_messages_total"]
+    rt_messages = runtime.metrics.families["dvm_messages_total"]
+    assert sim_messages.total(kind=KIND_CONTROL) == 0
+    assert (
+        sim_messages.total(direction=DIRECTION_OUT, kind=KIND_COUNTING)
+        == sim_inc.messages
+    )
+    assert rt_messages.total(kind=KIND_CONTROL) > 0
+    # One source of truth: the registry series IS the per-device counter
+    # the timing snapshot summed.  (>= rather than ==: sessions torn down
+    # by cluster.stop() fire peer-down recounts after the snapshot.)
+    rt_counting_out = rt_messages.total(
+        direction=DIRECTION_OUT, kind=KIND_COUNTING
+    )
+    assert rt_counting_out == sum(
+        device.messages_out for device in runtime.metrics.devices.values()
+    )
+    assert rt_counting_out >= runtime.messages > 0
+
+
+def test_telemetry_leaves_counting_traffic_byte_identical():
+    """Tracing on the same deterministic workload must not change one
+    message or byte of counting traffic, and verdicts stay identical."""
+    (_, _, _, plain_inc, _, _) = run_parity()
+    traced_workload = build_workload("INet2", max_destinations=3)
+    tracer = Tracer()
+    traced_burst = run_tulkun_burst(traced_workload, tracer=tracer)
+    traced_updates = random_rule_updates(
+        traced_workload, NUM_UPDATES, seed=92
+    )
+    traced_inc = run_tulkun_incremental(
+        traced_workload, traced_updates, network=traced_burst.network
+    )
+    assert len(tracer) > 0, "tracer attached but recorded nothing"
+    assert traced_inc.messages == plain_inc.messages
+    assert traced_inc.bytes == plain_inc.bytes
+    for plan_id, _ in traced_workload.plans:
+        assert canonical_verdicts(
+            traced_inc.network.verdicts(plan_id)
+        ) == canonical_verdicts(plain_inc.network.verdicts(plan_id))
 
 
 def test_report_wall_clock_and_bytes(benchmark, out_dir):

@@ -94,10 +94,10 @@ def collect_update_traces(workload: Workload) -> Dict[str, List[Message]]:
     )
     original = network._transmit
 
-    def recording_transmit(source, destination, message, when):
+    def recording_transmit(source, destination, message, when, **kwargs):
         if isinstance(message, UpdateMessage):
             traces[destination].append(message)
-        return original(source, destination, message, when)
+        return original(source, destination, message, when, **kwargs)
 
     network._transmit = recording_transmit
     network.install_plans(dict(workload.plans))

@@ -8,6 +8,7 @@ and CDFs for the on-device microbenchmarks (Figs. 14/15).
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bench.runners import fraction_below, quantile
@@ -112,6 +113,21 @@ def print_table(
             lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
     text = "\n".join(lines) + "\n"
     print(text)
+    return text
+
+
+def render_json(document: Mapping[str, object], path: Optional[str] = None) -> str:
+    """Serialize a result document as pretty JSON; optionally write it.
+
+    The machine-readable counterpart of :func:`print_table`: bench and
+    CLI commands build a plain dict of their results and either print the
+    returned text (``--json``) or persist it (``--out``).  Non-JSON
+    values (dataclasses, Predicates, ...) fall back to ``str``.
+    """
+    text = json.dumps(document, indent=2, sort_keys=True, default=str) + "\n"
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
     return text
 
 

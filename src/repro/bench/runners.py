@@ -45,6 +45,7 @@ def run_tulkun_burst(
     workload: Workload,
     profile: DeviceProfile = DeviceProfile(),
     strict_wire: bool = False,
+    tracer=None,
 ) -> TulkunTiming:
     """Burst update: plans distributed, then all devices count at once."""
     network = SimulatedNetwork(
@@ -53,6 +54,7 @@ def run_tulkun_burst(
         workload.factory,
         profile=profile,
         strict_wire=strict_wire,
+        tracer=tracer,
     )
     elapsed = network.install_plans(dict(workload.plans))
     return TulkunTiming(
@@ -68,11 +70,12 @@ def run_tulkun_incremental(
     updates: Sequence[RuleUpdate],
     network: Optional[SimulatedNetwork] = None,
     profile: DeviceProfile = DeviceProfile(),
+    tracer=None,
 ) -> TulkunTiming:
     """Apply updates one by one; records per-update convergence times."""
     timing = TulkunTiming()
     if network is None:
-        burst = run_tulkun_burst(workload, profile)
+        burst = run_tulkun_burst(workload, profile, tracer=tracer)
         network = burst.network
         timing.burst_seconds = burst.burst_seconds
     for update in updates:

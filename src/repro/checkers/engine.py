@@ -49,6 +49,7 @@ RULES: Dict[str, str] = {
     "EXC001": "broad except that swallows the exception",
     "HYG001": "mutable default argument",
     "HYG002": "parameter shadows a builtin",
+    "OBS001": "bare print() in library code (use repro.obs.log)",
 }
 
 #: Directory names never scanned.

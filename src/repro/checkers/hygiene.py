@@ -1,4 +1,4 @@
-"""Hygiene analyzers (rules EXC001, HYG001, HYG002).
+"""Hygiene analyzers (rules EXC001, HYG001, HYG002, OBS001).
 
 * **EXC001** -- a broad handler (``except:``, ``except Exception``,
   ``except BaseException``) whose body neither re-raises, logs, records
@@ -9,6 +9,11 @@
 * **HYG001** -- mutable default argument values, shared across calls.
 * **HYG002** -- parameters shadowing builtins, which silently break the
   builtin inside the function body and confuse readers.
+* **OBS001** -- a bare ``print(`` in library code.  Library output must
+  go through :mod:`repro.obs.log` (structured, filterable, JSON-capable)
+  so telemetry consumers are not fighting stray stdout; only the CLI
+  front-ends (any ``cli.py``) and the table renderer
+  (``bench/reporting.py``) own stdout.
 """
 
 from __future__ import annotations
@@ -37,6 +42,18 @@ SHADOWABLE_BUILTINS: Set[str] = {
         and issubclass(getattr(builtins, name), BaseException)
     )
 }
+
+#: Files that legitimately own stdout (OBS001 does not apply).
+_PRINT_EXEMPT_BASENAMES = {"cli.py"}
+_PRINT_EXEMPT_SUFFIXES = ("bench/reporting.py",)
+
+
+def _print_exempt(path: str) -> bool:
+    posix = path.replace("\\", "/")
+    if posix.rsplit("/", 1)[-1] in _PRINT_EXEMPT_BASENAMES:
+        return True
+    return posix.endswith(_PRINT_EXEMPT_SUFFIXES)
+
 
 _MUTABLE_CONSTRUCTORS = {
     "list",
@@ -70,11 +87,12 @@ def _dotted_name(node: ast.AST) -> Optional[str]:
 
 
 class HygieneVisitor(ast.NodeVisitor):
-    """Emits EXC001 / HYG001 / HYG002 for one module."""
+    """Emits EXC001 / HYG001 / HYG002 / OBS001 for one module."""
 
     def __init__(self, path: str) -> None:
         self.path = path
         self.findings: List[Finding] = []
+        self._stdout_owner = _print_exempt(path)
 
     def _emit(self, node: ast.AST, rule: str, message: str, hint: str) -> None:
         self.findings.append(
@@ -142,6 +160,23 @@ class HygieneVisitor(ast.NodeVisitor):
                 ):
                     return False
         return True
+
+    # -- OBS001 ------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            not self._stdout_owner
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            self._emit(
+                node,
+                "OBS001",
+                "bare print() in library code bypasses structured logging",
+                "use repro.obs.log.get_logger(...).info/debug with kv(...), "
+                "or move the output into a CLI front-end",
+            )
+        self.generic_visit(node)
 
     # -- HYG001 / HYG002 ---------------------------------------------------
 

@@ -10,6 +10,9 @@ Commands:
   (one verifier agent per device over real localhost sockets), verify
   reachability, inject a rule update, a link failure and a forced
   connection drop, and print per-device traffic metrics.
+* ``trace``     -- run one traced burst workload on either backend and
+  export telemetry artifacts (JSONL + Chrome-trace spans, metrics in
+  JSON and Prometheus text form); see ``docs/OBSERVABILITY.md``.
 * ``lint``      -- run the repro-lint static analyzers (async-safety,
   DVM wire-protocol consistency, hygiene) over the codebase; see
   :mod:`repro.checkers` and ``docs/STATIC_ANALYSIS.md``.
@@ -24,7 +27,8 @@ Examples::
                       (exist >= 1, INet2-r1.*INet2-r0 and loop_free))"
     python -m repro verify --topology net.json --fibs rules.json \
         --invariant "(*, [S], (exist >= 1, S.*D))"
-    python -m repro testbed --dataset inet2
+    python -m repro testbed --dataset inet2 --json --out results.json
+    python -m repro trace --dataset inet2 --backend simulator --out trace-out
 """
 
 from __future__ import annotations
@@ -130,7 +134,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_testbed(args: argparse.Namespace) -> int:
     """Boot a dataset on the runtime backend and exercise its dynamics."""
-    from repro.bench.reporting import print_table
+    from repro.bench.reporting import print_table, render_json
     from repro.bench.workloads import reachability_invariant
     from repro.topology.datasets import load_dataset
 
@@ -142,6 +146,12 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
     if args.destinations < 1:
         print("--destinations must be at least 1", file=sys.stderr)
         return 2
+
+    def say(text: str) -> None:
+        # --json keeps stdout a single machine-readable document.
+        if not args.json:
+            print(text)
+
     topology = load_dataset(name, scale=args.scale)
     tulkun = Tulkun(topology, layout=DSTIP_ONLY_LAYOUT)
     fibs = install_routes(
@@ -152,10 +162,18 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
         print(f"dataset {name} has no destination prefixes", file=sys.stderr)
         return 2
 
-    print(
+    say(
         f"booting {name}: {topology.num_devices} verifier agents over "
         "localhost TCP ..."
     )
+    document: dict = {
+        "command": "testbed",
+        "dataset": name,
+        "scale": args.scale,
+        "devices": topology.num_devices,
+        "invariants": [],
+        "events": [],
+    }
     with tulkun.deploy(
         fibs,
         backend="runtime",
@@ -174,43 +192,180 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
                 )
                 report = deployment.verify(invariant)
                 plan_ids.append(max(deployment.plans))
-                print(f"  {report}  [{report.message_bytes} wire bytes]")
+                say(f"  {report}  [{report.message_bytes} wire bytes]")
+                document["invariants"].append(
+                    {
+                        "plan": plan_ids[-1],
+                        "invariant": invariant.name,
+                        "destination": destination,
+                        "prefix": cidr,
+                        "holds": report.holds,
+                        "verification_seconds": report.verification_seconds,
+                        "message_count": report.message_count,
+                        "message_bytes": report.message_bytes,
+                    }
+                )
 
         link = next(iter(topology.links))
         a, b = link.a, link.b
-        print(f"failing link {a} -- {b} (TCP sessions cut) ...")
+        say(f"failing link {a} -- {b} (TCP sessions cut) ...")
         seconds = deployment.fail_link(a, b)
         degraded = sum(
             1 for p in plan_ids if not deployment.holds(p)
         )
-        print(
+        say(
             f"  reconverged in {seconds * 1e3:.1f} ms; "
             f"{degraded}/{len(plan_ids)} invariants degraded"
         )
-        print(f"recovering link {a} -- {b} ...")
+        document["events"].append(
+            {
+                "event": "fail_link",
+                "link": [a, b],
+                "seconds": seconds,
+                "invariants_degraded": degraded,
+            }
+        )
+        say(f"recovering link {a} -- {b} ...")
         seconds = deployment.recover_link(a, b)
         healthy = sum(1 for p in plan_ids if deployment.holds(p))
-        print(
+        say(
             f"  reconverged in {seconds * 1e3:.1f} ms; "
             f"{healthy}/{len(plan_ids)} invariants hold"
         )
-        print(
+        document["events"].append(
+            {
+                "event": "recover_link",
+                "link": [a, b],
+                "seconds": seconds,
+                "invariants_holding": healthy,
+            }
+        )
+        say(
             f"forcing a connection drop on {a} -- {b} "
             "(dead-peer detection + backoff-reconnect) ..."
         )
         seconds = deployment.drop_connection(a, b, hold_down=args.hold_down)
         healthy = sum(1 for p in plan_ids if deployment.holds(p))
-        print(
+        say(
             f"  session re-established and reconverged in "
             f"{seconds * 1e3:.1f} ms; {healthy}/{len(plan_ids)} "
             "invariants hold"
         )
-        print_table(
-            f"{name}: per-device runtime metrics",
-            deployment.metrics_rows(),
+        document["events"].append(
+            {
+                "event": "drop_connection",
+                "link": [a, b],
+                "seconds": seconds,
+                "invariants_holding": healthy,
+            }
         )
+        if not args.json:
+            print_table(
+                f"{name}: per-device runtime metrics",
+                deployment.metrics_rows(),
+            )
         reconnects = deployment.metrics.total_reconnects
-        print(f"total reconnects: {reconnects}")
+        say(f"total reconnects: {reconnects}")
+        document["metrics"] = {
+            "rows": deployment.metrics_rows(),
+            "total_messages": deployment.metrics.total_messages,
+            "total_bytes": deployment.metrics.total_bytes,
+            "total_reconnects": reconnects,
+            "registry": deployment.metrics.registry.as_dict(),
+        }
+    text = render_json(document, args.out)
+    if args.json:
+        print(text, end="")
+    elif args.out:
+        say(f"wrote JSON results to {args.out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced workload and export telemetry artifacts.
+
+    Writes ``trace.jsonl``, ``trace.chrome.json``, ``metrics.json`` and
+    ``metrics.prom`` into ``--out`` and validates the trace against the
+    schema in :mod:`repro.obs.export` (exit 1 on violations), so CI can
+    smoke-test the whole observability path in one command.
+    """
+    import os
+
+    from repro.bench.runners import run_runtime_burst, run_tulkun_burst
+    from repro.bench.workloads import build_workload
+    from repro.obs.export import validate_jsonl, write_chrome, write_jsonl
+    from repro.obs.trace import Tracer
+
+    try:
+        name = _resolve_dataset(args.dataset)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    backend = {"sim": "simulator", "simulator": "simulator",
+               "runtime": "runtime"}.get(args.backend)
+    if backend is None:
+        print(
+            f"unknown backend {args.backend!r} "
+            "(expected 'simulator' or 'runtime')",
+            file=sys.stderr,
+        )
+        return 2
+    max_destinations = args.destinations if args.destinations > 0 else None
+    workload = build_workload(
+        name, scale=args.scale, max_destinations=max_destinations
+    )
+    tracer = Tracer()
+    print(
+        f"tracing {name} burst on the {backend} backend "
+        f"({workload.topology.num_devices} devices, "
+        f"{len(workload.plans)} plans) ..."
+    )
+    if backend == "simulator":
+        timing = run_tulkun_burst(workload, tracer=tracer)
+        registry = timing.network.stats.registry
+    else:
+        timing = run_runtime_burst(
+            workload,
+            tracer=tracer,
+            keepalive_interval=0.2,
+            quiescence_grace=0.03,
+            settle_rounds=2,
+        )
+        registry = timing.metrics.registry
+    records = tracer.records()
+    print(
+        f"  converged in {timing.burst_seconds * 1e3:.1f} ms; "
+        f"{timing.messages} messages, {timing.bytes} bytes, "
+        f"{len(records)} trace records"
+    )
+
+    os.makedirs(args.out, exist_ok=True)
+    jsonl_path = os.path.join(args.out, "trace.jsonl")
+    chrome_path = os.path.join(args.out, "trace.chrome.json")
+    write_jsonl(records, jsonl_path)
+    event_count = write_chrome(records, chrome_path)
+    with open(os.path.join(args.out, "metrics.json"), "w") as handle:
+        handle.write(registry.render_json())
+    with open(os.path.join(args.out, "metrics.prom"), "w") as handle:
+        handle.write(registry.render_text())
+    print(
+        f"  wrote {jsonl_path} ({len(records)} records), "
+        f"{chrome_path} ({event_count} Chrome trace events), "
+        "metrics.json, metrics.prom"
+    )
+
+    errors = validate_jsonl(jsonl_path)
+    if errors:
+        print(
+            f"trace schema validation FAILED ({len(errors)} errors):",
+            file=sys.stderr,
+        )
+        for error in errors[:20]:
+            print(f"  {error}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+    print("  trace schema validation OK")
     return 0
 
 
@@ -289,6 +444,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=60.0,
         help="per-operation convergence deadline in seconds (default: 60)",
     )
+    testbed.add_argument(
+        "--json",
+        action="store_true",
+        help="emit results as one JSON document instead of text tables",
+    )
+    testbed.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON results document to this file",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a traced burst workload and export telemetry artifacts",
+    )
+    trace.add_argument(
+        "--dataset",
+        default="INet2",
+        help="built-in dataset name, case-insensitive (default: INet2)",
+    )
+    trace.add_argument(
+        "--backend",
+        default="simulator",
+        choices=("simulator", "sim", "runtime"),
+        help="which backend to trace (default: simulator)",
+    )
+    trace.add_argument(
+        "--scale",
+        default="bench",
+        choices=("paper", "bench", "tiny"),
+        help="dataset scale (default: bench)",
+    )
+    trace.add_argument(
+        "--destinations",
+        type=int,
+        default=4,
+        help="invariant destinations to install (0 = all; default: 4)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace-out",
+        help="output directory for the artifacts (default: trace-out)",
+    )
 
     lint = commands.add_parser(
         "lint",
@@ -307,6 +505,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "verify": _cmd_verify,
         "testbed": _cmd_testbed,
+        "trace": _cmd_trace,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -105,6 +105,7 @@ class Tulkun:
         profiles: Optional[Dict[str, DeviceProfile]] = None,
         strict_wire: bool = False,
         backend: str = "sim",
+        tracer=None,
         **runtime_options,
     ) -> "Deployment":
         """Create on-device verifiers over ``fibs``.
@@ -116,6 +117,9 @@ class Tulkun:
         keyword options (``keepalive_interval``, ``backoff``, ...).
         Runtime deployments hold sockets and a background thread: close
         them (``with`` statement or ``.close()``) when done.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) turns on causally-linked
+        span tracing on either backend; see ``docs/OBSERVABILITY.md``.
         """
         missing = [d for d in self.topology.devices if d not in fibs]
         if missing:
@@ -123,6 +127,8 @@ class Tulkun:
         if backend == "runtime":
             from repro.runtime.deployment import RuntimeDeployment
 
+            if tracer is not None:
+                runtime_options["tracer"] = tracer
             return RuntimeDeployment(self, fibs, **runtime_options)
         if backend != "sim":
             raise TulkunError(
@@ -140,6 +146,7 @@ class Tulkun:
             profile=profile,
             profiles=profiles,
             strict_wire=strict_wire,
+            tracer=tracer,
         )
         return Deployment(self, network)
 

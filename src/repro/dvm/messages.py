@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.counting.counts import CountSet
 from repro.packetspace.predicate import Predicate, PredicateFactory
@@ -49,6 +49,12 @@ TYPE_KEEPALIVE = 2
 TYPE_UPDATE = 3
 TYPE_SUBSCRIBE = 4
 TYPE_LINKSTATE = 5
+
+#: Plan id scoping session-level control frames (the handshake OPEN and
+#: KEEPALIVE heartbeats).  Counting traffic always carries a real plan
+#: id, so the empty string cleanly separates the two frame kinds in the
+#: shared metric schema (:mod:`repro.obs.schema`).
+SESSION_PLAN_ID = ""
 
 
 class MessageDecodeError(ValueError):
@@ -104,6 +110,49 @@ class SubscribeMessage(Message):
     down_node: str
     original: Predicate
     transformed: Predicate
+
+
+def is_session_frame(message: Message) -> bool:
+    """True for session-level control frames (OPEN/KEEPALIVE, no plan).
+
+    Mirrors the transport-layer classification without importing it:
+    counting traffic always carries a real plan id, session control
+    frames carry :data:`SESSION_PLAN_ID`.  Used by the shared metric
+    schema to split counting and control traffic in both backends.
+    """
+    return (
+        isinstance(message, (OpenMessage, KeepaliveMessage))
+        and message.plan_id == SESSION_PLAN_ID
+    )
+
+
+#: Frame-kind labels cached per concrete message type (hot path).
+_MESSAGE_KINDS: Dict[type, str] = {}
+
+
+def message_kind(message: Message) -> str:
+    """Short frame-kind label for span names and metric attributes."""
+    kind = _MESSAGE_KINDS.get(type(message))
+    if kind is None:
+        kind = _classify_message(message)
+        _MESSAGE_KINDS[type(message)] = kind
+    return kind
+
+
+def _classify_message(message: Message) -> str:
+    from repro.dvm.linkstate import LinkStateMessage
+
+    if isinstance(message, OpenMessage):
+        return "OPEN"
+    if isinstance(message, KeepaliveMessage):
+        return "KEEPALIVE"
+    if isinstance(message, UpdateMessage):
+        return "UPDATE"
+    if isinstance(message, SubscribeMessage):
+        return "SUBSCRIBE"
+    if isinstance(message, LinkStateMessage):
+        return "LINKSTATE"
+    return type(message).__name__
 
 
 # ---------------------------------------------------------------------------

@@ -37,6 +37,7 @@ from repro.dvm.messages import (
     SubscribeMessage,
     UpdateMessage,
 )
+from repro.obs.trace import CAT_VERIFY, NULL_TRACER, Tracer
 from repro.packetspace.predicate import Predicate, PredicateFactory
 from repro.packetspace.transform import Rewrite
 from repro.planner.dpvnet import Label
@@ -146,6 +147,9 @@ class OnDeviceVerifier:
         # counters for the §9.4 microbenchmarks
         self.messages_received = 0
         self.messages_sent = 0
+        #: Observability hook; the owning backend (simulator network or
+        #: runtime device host) swaps in its tracer when tracing is on.
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # plan installation
@@ -299,6 +303,16 @@ class OnDeviceVerifier:
         cib = state.cib_in.get(message.down_node)
         if cib is None:
             return []
+        if self.tracer.enabled:
+            self.tracer.event(
+                "cib.update",
+                device=self.device,
+                cat=CAT_VERIFY,
+                plan=context.plan_id,
+                node=message.up_node,
+                withdrawn=len(message.withdrawn),
+                results=len(message.results),
+            )
         cib.withdraw(message.withdrawn)
         affected = None
         for predicate in message.withdrawn:
@@ -393,6 +407,13 @@ class OnDeviceVerifier:
     def _on_linkstate(self, message: LinkStateMessage) -> Outgoing:
         if not self.linkstate.observe(message):
             return []  # already known: stop the flood
+        if self.tracer.enabled:
+            self.tracer.event(
+                "linkstate.flood",
+                device=self.device,
+                cat=CAT_VERIFY,
+                fanout=len(self.neighbors),
+            )
         outgoing: Outgoing = [
             (neighbor, message) for neighbor in self.neighbors
         ]
@@ -477,7 +498,43 @@ class OnDeviceVerifier:
     def _recompute(
         self, context: _PlanContext, state: _NodeState, region: Predicate
     ) -> Outgoing:
-        """Recount ``region`` at one node and emit the resulting UPDATEs."""
+        """Recount ``region`` at one node and emit the resulting UPDATEs.
+
+        With tracing on, each counting-task evaluation becomes a
+        ``cib.recount`` span (zero simulated duration on the simulator
+        backend -- the clock is frozen during handlers -- real wall time
+        on the runtime backend).
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._recompute_region(context, state, region)
+        # Inlined tracer.span() -- this runs once per CIB delta.
+        parent_id = tracer.current_parent()
+        span_id = tracer.begin_span()
+        start = tracer.now()
+        try:
+            outgoing = self._recompute_region(context, state, region)
+        finally:
+            tracer.pop_span()
+        tracer.record_span(
+            "cib.recount",
+            start=start,
+            end=tracer.now(),
+            device=self.device,
+            cat=CAT_VERIFY,
+            span_id=span_id,
+            parent_id=parent_id,
+            attrs={
+                "plan": context.plan_id,
+                "node": state.task.node_id,
+                "updates": len(outgoing),
+            },
+        )
+        return outgoing
+
+    def _recompute_region(
+        self, context: _PlanContext, state: _NodeState, region: Predicate
+    ) -> Outgoing:
         region = region & state.interest
         if region.is_empty:
             return []

@@ -1,0 +1,56 @@
+"""repro.obs -- the shared observability layer.
+
+Three parts, zero dependencies, shared by the discrete-event simulator
+and the asyncio/TCP runtime (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` + :mod:`repro.obs.schema` -- the metrics
+  registry and the one DVM metric schema both backends install;
+* :mod:`repro.obs.trace` + :mod:`repro.obs.export` -- causally-linked
+  span tracing with JSONL and Chrome-trace (Perfetto) exporters;
+* :mod:`repro.obs.log` -- structured (key=value / JSON) logging.
+"""
+
+from repro.obs.export import (
+    read_jsonl,
+    to_chrome,
+    validate_jsonl,
+    validate_records,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger, kv
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.schema import DVM_METRIC_NAMES, install_dvm_schema
+from repro.obs.trace import NULL_TRACER, SpanHandle, TraceRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "DVM_METRIC_NAMES",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "SpanHandle",
+    "TraceRecord",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "install_dvm_schema",
+    "kv",
+    "read_jsonl",
+    "to_chrome",
+    "validate_jsonl",
+    "validate_records",
+    "write_chrome",
+    "write_jsonl",
+]

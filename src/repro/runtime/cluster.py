@@ -21,18 +21,31 @@ tail does not inflate reported wall times.
 from __future__ import annotations
 
 import asyncio
-import logging
 import random
 import time
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.dataplane.fib import Fib
-from repro.dvm.messages import Message, MessageDecodeError, OpenMessage
+from repro.dvm.messages import (
+    Message,
+    MessageDecodeError,
+    OpenMessage,
+    message_kind,
+)
 from repro.dvm.verifier import (
     OnDeviceVerifier,
     Outgoing,
     RootVerdict,
     Violation,
+)
+from repro.obs.log import get_logger, kv
+from repro.obs.trace import (
+    CAT_OP,
+    CAT_RUNTIME,
+    CAT_SESSION,
+    NULL_TRACER,
+    Tracer,
 )
 from repro.packetspace.predicate import PredicateFactory
 from repro.planner.tasks import Plan
@@ -42,7 +55,7 @@ from repro.runtime.transport import SESSION_PLAN, FramedChannel
 from repro.topology.graph import Topology
 
 
-logger = logging.getLogger(__name__)
+logger = get_logger("runtime.cluster")
 
 
 class ClusterTimeoutError(RuntimeError):
@@ -71,7 +84,12 @@ class DeviceHost:
         self.cluster = cluster
         self.sessions: Dict[str, PeerSession] = {}
         self.installed_plans: List[str] = []
-        self.inbox: "asyncio.Queue[Message]" = asyncio.Queue()
+        # Each inbox entry carries the message plus the span id of the
+        # handler that emitted it on the sending device (None when
+        # tracing is off or causality is unknown).
+        self.inbox: "asyncio.Queue[Tuple[Message, Optional[int]]]" = (
+            asyncio.Queue()
+        )
         self.server: Optional[asyncio.Server] = None
         self.port: int = 0
         self._pump_task: Optional["asyncio.Task[None]"] = None
@@ -123,10 +141,17 @@ class DeviceHost:
             # a trace -- silent handshake failures made reconnect storms
             # undiagnosable.
             self.metrics.handshake_failures += 1
+            tracer = self.cluster.tracer
+            if tracer.enabled:
+                tracer.event(
+                    "handshake.failed",
+                    device=self.device,
+                    cat=CAT_SESSION,
+                    error=repr(exc),
+                )
             logger.debug(
-                "%s: inbound handshake failed before OPEN: %r",
-                self.device,
-                exc,
+                "inbound handshake failed before OPEN",
+                extra=kv(device=self.device, error=repr(exc)),
             )
             await channel.close()
             return
@@ -148,44 +173,88 @@ class DeviceHost:
 
     def handle_incoming(self, peer: str, message: Message) -> None:
         """Session read loops push counting frames here (FIFO per peer)."""
-        del peer
-        self.inbox.put_nowait(message)
+        parent = self.cluster.pop_parent(peer, self.device)
+        self.inbox.put_nowait((message, parent))
         self.cluster.note_activity()
+
+    def _run_handler(
+        self,
+        name: str,
+        handler: Callable[[], Outgoing],
+        parent: Optional[int] = None,
+    ) -> Tuple[Outgoing, Optional[int]]:
+        """Run a verifier entry point; returns (outgoing, span id).
+
+        Always feeds the per-device processing-time histogram; with
+        tracing on, the execution additionally becomes a span whose
+        parent is the emitting handler on the sending device.
+        """
+        tracer = self.cluster.tracer
+        start = time.perf_counter()
+        span_id: Optional[int] = None
+        if tracer.enabled:
+            with tracer.span(
+                name, device=self.device, cat=CAT_RUNTIME, parent_id=parent
+            ) as handle:
+                outgoing = handler()
+            span_id = handle.span_id
+        else:
+            outgoing = handler()
+        self.metrics.observe_processing(time.perf_counter() - start)
+        return outgoing, span_id
 
     async def _pump(self) -> None:
         while True:
-            message = await self.inbox.get()
-            outgoing = self.verifier.on_message(message)
-            self.route(outgoing)
+            message, parent = await self.inbox.get()
+            outgoing, span_id = self._run_handler(
+                f"recv {message_kind(message)}",
+                lambda m=message: self.verifier.on_message(m),
+                parent,
+            )
+            self.route(outgoing, parent=span_id)
             self.cluster.note_activity()
 
-    def route(self, outgoing: Outgoing) -> None:
+    def route(
+        self, outgoing: Outgoing, parent: Optional[int] = None
+    ) -> None:
         for destination, message in outgoing:
             session = self.sessions.get(destination)
             if session is not None and session.send(message):
+                self.cluster.push_parent(self.device, destination, parent)
                 self.cluster.note_activity()
             # else: session down or link failed -- the frame is dropped,
             # exactly like a TCP connection stalling over a dead link;
             # the re-OPEN refresh repairs state on reconnect.
 
-    def call(self, handler: Callable[[], Outgoing]) -> None:
+    def call(
+        self,
+        handler: Callable[[], Outgoing],
+        name: str = "handler",
+        parent: Optional[int] = None,
+    ) -> None:
         """Run a verifier entry point and transmit what it emits."""
-        self.route(handler())
+        outgoing, span_id = self._run_handler(name, handler, parent)
+        self.route(outgoing, parent=span_id)
         self.cluster.note_activity()
 
     # -- session callbacks -------------------------------------------------
 
     def on_session_established(self, peer: str) -> None:
         """Re-OPEN every installed plan so the peer refreshes our state."""
+        self.cluster.clear_parents(self.device, peer)
         session = self.sessions[peer]
         for plan_id in self.installed_plans:
             if session.send(
                 OpenMessage(plan_id=plan_id, device=self.device)
             ):
+                self.cluster.push_parent(self.device, peer, None)
                 self.cluster.note_activity()
 
     def on_peer_down(self, peer: str) -> None:
-        self.call(lambda: self.verifier.on_peer_down(peer))
+        self.cluster.clear_parents(self.device, peer)
+        self.call(
+            lambda: self.verifier.on_peer_down(peer), name="peer_down"
+        )
 
 
 class RuntimeCluster:
@@ -205,11 +274,13 @@ class RuntimeCluster:
         settle_rounds: int = 2,
         op_timeout: float = 60.0,
         handshake_timeout: float = 5.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.topology = topology
         self.factory = factory
         self.fibs = fibs
         self.metrics = ClusterMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.keepalive_interval = keepalive_interval
         self.hold_multiplier = hold_multiplier
         self.backoff = backoff or BackoffPolicy()
@@ -224,6 +295,42 @@ class RuntimeCluster:
         self._activity = 0
         self._last_activity_wall = time.monotonic()
         self._started = False
+        # Out-of-band causality: per directed link, the span ids of the
+        # handlers whose frames are in flight (FIFO matches the per-link
+        # TCP ordering).  Best-effort -- cleared on session churn.
+        self._parent_links: Dict[Tuple[str, str], Deque[Optional[int]]] = {}
+        self._op_span: Optional[int] = None
+        self._op_label = ""
+        self._op_trace_start = 0.0
+
+    # -- cross-device causality (tracing) -----------------------------------
+
+    def push_parent(
+        self, source: str, destination: str, span_id: Optional[int]
+    ) -> None:
+        """Remember who emitted the frame now in flight on (source, dest)."""
+        if not self.tracer.enabled:
+            return
+        self._parent_links.setdefault(
+            (source, destination), deque()
+        ).append(span_id)
+
+    def pop_parent(self, source: str, destination: str) -> Optional[int]:
+        if not self.tracer.enabled:
+            return None
+        pending = self._parent_links.get((source, destination))
+        if pending:
+            return pending.popleft()
+        return None
+
+    def clear_parents(self, a: str, b: str) -> None:
+        """Drop in-flight causality for both directions of link (a, b).
+
+        Called on session loss and (re-)establishment: frames queued on
+        a dying connection never arrive, so the pending ids would
+        misalign the FIFO pairing for the next session."""
+        self._parent_links.pop((a, b), None)
+        self._parent_links.pop((b, a), None)
 
     # -- activity / quiescence ---------------------------------------------
 
@@ -260,17 +367,36 @@ class RuntimeCluster:
             else:
                 quiet_rounds = 0
                 last_seen = self._activity
+        if self.tracer.enabled:
+            self.tracer.event(
+                "quiescence", cat=CAT_RUNTIME, parent_id=self._op_span
+            )
         return time.monotonic() - self._last_activity_wall
 
-    def _begin_op(self) -> float:
+    def _begin_op(self, label: str = "op") -> float:
         start = time.monotonic()
         self._last_activity_wall = start
+        if self.tracer.enabled:
+            self.tracer.begin_operation(label)
+            self._op_span = self.tracer.next_id()
+            self._op_label = label
+            self._op_trace_start = self.tracer.now()
         return start
 
     def _finish_op(self, start: float) -> float:
         """Convergence wall time: last counting activity minus start."""
         elapsed = max(0.0, self._last_activity_wall - start)
-        self.metrics.convergence_seconds.append(elapsed)
+        self.metrics.record_convergence(elapsed)
+        if self.tracer.enabled and self._op_span is not None:
+            self.tracer.record_span(
+                self._op_label,
+                start=self._op_trace_start,
+                end=self._op_trace_start + elapsed,
+                cat=CAT_OP,
+                span_id=self._op_span,
+                attrs={"convergence_seconds": elapsed},
+            )
+            self._op_span = None
         return elapsed
 
     # -- lifecycle ---------------------------------------------------------
@@ -284,6 +410,8 @@ class RuntimeCluster:
                 self.fibs[device],
                 self.topology.neighbors(device),
             )
+            if self.tracer.enabled:
+                verifier.tracer = self.tracer
             host = DeviceHost(
                 device,
                 verifier,
@@ -322,6 +450,7 @@ class RuntimeCluster:
             hold_multiplier=self.hold_multiplier,
             backoff=self.backoff,
             rng=random.Random(f"{self.seed}:{device}:{peer}"),
+            tracer=self.tracer,
         )
 
     async def wait_all_established(
@@ -362,7 +491,7 @@ class RuntimeCluster:
 
     async def install_plans(self, plans: Dict[str, Plan]) -> float:
         """Install plans on their devices as one burst, run to quiescence."""
-        start = self._begin_op()
+        start = self._begin_op(f"install_plans:{len(plans)}")
         for plan_id, plan in plans.items():
             self._plans[plan_id] = plan
             for device in plan.devices():
@@ -371,7 +500,9 @@ class RuntimeCluster:
                 host.call(
                     lambda v=host.verifier, i=plan_id, p=plan: v.install_plan(
                         i, p
-                    )
+                    ),
+                    name="install_plan",
+                    parent=self._op_span,
                 )
         await self.wait_quiescence()
         return self._finish_op(start)
@@ -380,42 +511,54 @@ class RuntimeCluster:
         self, device: str, mutate: Callable[[], None]
     ) -> float:
         """Apply one rule update at ``device``, verify incrementally."""
-        start = self._begin_op()
+        start = self._begin_op(f"fib_update:{device}")
         mutate()
         host = self.hosts[device]
-        host.call(host.verifier.on_fib_changed)
+        host.call(
+            host.verifier.on_fib_changed,
+            name="fib_changed",
+            parent=self._op_span,
+        )
         await self.wait_quiescence()
         return self._finish_op(start)
 
     async def burst_fib_event(self) -> float:
-        start = self._begin_op()
+        start = self._begin_op("burst_fib_event")
         for host in self.hosts.values():
-            host.call(host.verifier.on_fib_changed)
+            host.call(
+                host.verifier.on_fib_changed,
+                name="fib_changed",
+                parent=self._op_span,
+            )
         await self.wait_quiescence()
         return self._finish_op(start)
 
     async def fail_link(self, a: str, b: str) -> float:
         """Fail link (a, b): cut its TCP sessions, flood, recount."""
-        start = self._begin_op()
+        start = self._begin_op(f"link_fail:{a}-{b}")
         self._failed_links.add(_normalize(a, b))
         self.hosts[a].sessions[b].disconnect()
         self.hosts[b].sessions[a].disconnect()
         for device in (a, b):
             host = self.hosts[device]
             host.call(
-                lambda v=host.verifier: v.on_link_event((a, b), up=False)
+                lambda v=host.verifier: v.on_link_event((a, b), up=False),
+                name="link_event",
+                parent=self._op_span,
             )
         await self.wait_quiescence()
         return self._finish_op(start)
 
     async def recover_link(self, a: str, b: str) -> float:
         """Recover link (a, b): redial, refresh sessions, recount."""
-        start = self._begin_op()
+        start = self._begin_op(f"link_recover:{a}-{b}")
         self._failed_links.discard(_normalize(a, b))
         for device in (a, b):
             host = self.hosts[device]
             host.call(
-                lambda v=host.verifier: v.on_link_event((a, b), up=True)
+                lambda v=host.verifier: v.on_link_event((a, b), up=True),
+                name="link_event",
+                parent=self._op_span,
             )
         await self.wait_session(a, b)
         await self.wait_quiescence()
@@ -431,7 +574,7 @@ class RuntimeCluster:
         False) backoff-reconnect re-establishes the session after
         ``hold_down`` seconds and refreshes state via re-OPEN.
         """
-        start = self._begin_op()
+        start = self._begin_op(f"drop_connection:{a}-{b}")
         self.hosts[a].sessions[b].disconnect(hold_down)
         self.hosts[b].sessions[a].disconnect(hold_down)
         if reconnect:

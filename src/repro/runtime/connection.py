@@ -35,6 +35,8 @@ from repro.dvm.messages import (
     MessageDecodeError,
     OpenMessage,
 )
+from repro.obs.log import get_logger, kv
+from repro.obs.trace import CAT_SESSION, NULL_TRACER, Tracer
 from repro.packetspace.predicate import PredicateFactory
 from repro.runtime.metrics import DeviceMetrics
 from repro.runtime.transport import (
@@ -42,6 +44,8 @@ from repro.runtime.transport import (
     FramedChannel,
     is_control_frame,
 )
+
+logger = get_logger("runtime.connection")
 
 
 @dataclass(frozen=True)
@@ -91,12 +95,14 @@ class PeerSession:
         hold_multiplier: float = 3.0,
         backoff: Optional[BackoffPolicy] = None,
         rng: Optional[random.Random] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.device = device
         self.peer = peer
         self.factory = factory
         self.metrics = metrics
         self.events = events
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.active = active
         self.peer_address = peer_address
         self.keepalive_interval = keepalive_interval
@@ -253,10 +259,23 @@ class PeerSession:
         """Pump frames until the connection dies; fire loss handling."""
         self._channel = channel
         channel.last_rx = time.monotonic()
-        if self._ever_established:
+        reconnect = self._ever_established
+        if reconnect:
             self.metrics.reconnects += 1
         self._ever_established = True
         self.metrics.sessions_established += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "session.established",
+                device=self.device,
+                cat=CAT_SESSION,
+                peer=self.peer,
+                reconnect=reconnect,
+            )
+        logger.debug(
+            "session established",
+            extra=kv(device=self.device, peer=self.peer, reconnect=reconnect),
+        )
         self.established.set()
         self.events.on_established(self.peer)
         keepalive = asyncio.get_running_loop().create_task(
@@ -290,6 +309,17 @@ class PeerSession:
             await channel.close()
             if not self._stopped:
                 self.metrics.peer_down_events += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "session.lost",
+                        device=self.device,
+                        cat=CAT_SESSION,
+                        peer=self.peer,
+                    )
+                logger.debug(
+                    "session lost",
+                    extra=kv(device=self.device, peer=self.peer),
+                )
                 self.events.on_peer_down(self.peer)
 
     async def _keepalive_loop(self, channel: FramedChannel) -> None:

@@ -1,6 +1,14 @@
 """Per-device runtime metrics (testbed counterpart of the simulator's
 :class:`~repro.simulator.network.MessageStats`).
 
+Both backends now record into the shared observability registry
+(:mod:`repro.obs.metrics`) through the one DVM metric schema
+(:mod:`repro.obs.schema`), so the runtime-parity benchmark can compare
+them family by family.  The int-valued attributes of the original
+dataclass survive as descriptor-backed views onto registry counters --
+existing ``metrics.decode_errors += 1`` call sites keep working while
+every update lands in the registry.
+
 Counting traffic (plan-scoped DVM frames: OPEN/UPDATE/SUBSCRIBE/
 LINKSTATE) is tracked separately from session control traffic (the
 handshake OPEN and KEEPALIVE heartbeats with the empty session plan id),
@@ -10,28 +18,130 @@ message statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, cast
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.schema import (
+    DIRECTION_IN,
+    DIRECTION_OUT,
+    KIND_CONTROL,
+    KIND_COUNTING,
+    install_dvm_schema,
+)
+
+__all__ = ["ClusterMetrics", "DeviceMetrics"]
 
 
-@dataclass
+class _CounterField:
+    """Int view of one registry counter (supports ``metrics.x += 1``)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+
+    def __get__(
+        self, instance: "DeviceMetrics", owner: Optional[type] = None
+    ) -> int:
+        return int(instance.counters[self.key].value)
+
+    def __set__(self, instance: "DeviceMetrics", value: int) -> None:
+        counter = instance.counters[self.key]
+        delta = value - int(counter.value)
+        if delta < 0:
+            raise MetricError(
+                f"{self.key} is a counter; it cannot decrease "
+                f"({int(counter.value)} -> {value})"
+            )
+        if delta:
+            counter.inc(delta)
+
+
 class DeviceMetrics:
     """Traffic and liveness counters for one device's runtime agent."""
 
-    device: str
-    messages_in: int = 0
-    messages_out: int = 0
-    bytes_in: int = 0
-    bytes_out: int = 0
-    control_in: int = 0
-    control_out: int = 0
-    control_bytes_in: int = 0
-    control_bytes_out: int = 0
-    decode_errors: int = 0
-    handshake_failures: int = 0
-    reconnects: int = 0
-    sessions_established: int = 0
-    peer_down_events: int = 0
+    messages_in = _CounterField("messages_in")
+    messages_out = _CounterField("messages_out")
+    bytes_in = _CounterField("bytes_in")
+    bytes_out = _CounterField("bytes_out")
+    control_in = _CounterField("control_in")
+    control_out = _CounterField("control_out")
+    control_bytes_in = _CounterField("control_bytes_in")
+    control_bytes_out = _CounterField("control_bytes_out")
+    decode_errors = _CounterField("decode_errors")
+    handshake_failures = _CounterField("handshake_failures")
+    reconnects = _CounterField("reconnects")
+    sessions_established = _CounterField("sessions_established")
+    peer_down_events = _CounterField("peer_down_events")
+
+    def __init__(
+        self, device: str, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.device = device
+        self.registry = registry if registry is not None else MetricsRegistry()
+        families = install_dvm_schema(self.registry)
+        messages = families["dvm_messages_total"]
+        wire_bytes = families["dvm_bytes_total"]
+        self.counters: Dict[str, Counter] = {
+            "messages_in": self._traffic(messages, DIRECTION_IN, KIND_COUNTING),
+            "messages_out": self._traffic(
+                messages, DIRECTION_OUT, KIND_COUNTING
+            ),
+            "bytes_in": self._traffic(wire_bytes, DIRECTION_IN, KIND_COUNTING),
+            "bytes_out": self._traffic(
+                wire_bytes, DIRECTION_OUT, KIND_COUNTING
+            ),
+            "control_in": self._traffic(messages, DIRECTION_IN, KIND_CONTROL),
+            "control_out": self._traffic(messages, DIRECTION_OUT, KIND_CONTROL),
+            "control_bytes_in": self._traffic(
+                wire_bytes, DIRECTION_IN, KIND_CONTROL
+            ),
+            "control_bytes_out": self._traffic(
+                wire_bytes, DIRECTION_OUT, KIND_CONTROL
+            ),
+            "decode_errors": self._device_counter(
+                families, "dvm_decode_errors_total"
+            ),
+            "handshake_failures": self._device_counter(
+                families, "dvm_handshake_failures_total"
+            ),
+            "reconnects": self._device_counter(
+                families, "dvm_session_reconnects_total"
+            ),
+            "sessions_established": self._device_counter(
+                families, "dvm_sessions_established_total"
+            ),
+            "peer_down_events": self._device_counter(
+                families, "dvm_peer_down_total"
+            ),
+        }
+        self.processing = cast(
+            Histogram,
+            families["verifier_processing_seconds"].labels(device=device),
+        )
+
+    def _traffic(
+        self, family: MetricFamily, direction: str, kind: str
+    ) -> Counter:
+        return cast(
+            Counter,
+            family.labels(device=self.device, direction=direction, kind=kind),
+        )
+
+    def _device_counter(
+        self, families: Dict[str, MetricFamily], name: str
+    ) -> Counter:
+        return cast(Counter, families[name].labels(device=self.device))
+
+    def observe_processing(self, seconds: float) -> None:
+        """Record one verifier handler's wall time for this device."""
+        self.processing.observe(seconds)
 
     def as_row(self) -> Dict[str, object]:
         """One reporting-table row (see :mod:`repro.bench.reporting`)."""
@@ -47,17 +157,29 @@ class DeviceMetrics:
         }
 
 
-@dataclass
 class ClusterMetrics:
-    """Cluster-wide aggregates plus per-operation convergence times."""
+    """Cluster-wide aggregates plus per-operation convergence times.
 
-    devices: Dict[str, DeviceMetrics] = field(default_factory=dict)
-    convergence_seconds: List[float] = field(default_factory=list)
+    Owns the one :class:`MetricsRegistry` all the cluster's devices
+    record into; :meth:`device` hands each :class:`DeviceMetrics` the
+    shared registry so the whole cluster exports a single schema.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.families = install_dvm_schema(self.registry)
+        self.devices: Dict[str, DeviceMetrics] = {}
+        self.convergence_seconds: List[float] = []
 
     def device(self, name: str) -> DeviceMetrics:
         if name not in self.devices:
-            self.devices[name] = DeviceMetrics(name)
+            self.devices[name] = DeviceMetrics(name, registry=self.registry)
         return self.devices[name]
+
+    def record_convergence(self, seconds: float) -> None:
+        """One operation's injection-to-quiescence time."""
+        self.convergence_seconds.append(seconds)
+        self.families["convergence_seconds"].observe(seconds)
 
     @property
     def total_messages(self) -> int:

@@ -21,15 +21,42 @@ serialization round trip) for protocol-conformance tests.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, cast
 
-from repro.dvm.messages import Message, decode_message, encode_message
+from repro.dvm.messages import (
+    Message,
+    decode_message,
+    encode_message,
+    message_kind,
+)
 from repro.dvm.verifier import OnDeviceVerifier, RootVerdict, Violation
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.schema import (
+    DIRECTION_IN,
+    DIRECTION_OUT,
+    KIND_CONTROL,
+    KIND_COUNTING,
+    install_dvm_schema,
+)
+from repro.obs.trace import CAT_OP, CAT_SIM, NULL_TRACER, Tracer
 from repro.packetspace.predicate import PredicateFactory
 from repro.planner.tasks import Plan
 from repro.simulator.engine import EventQueue
 from repro.topology.graph import Topology
+
+
+#: "recv <KIND>" span names, cached by message type (per-delivery
+#: f-string formatting would dominate the tracing hot path).
+_RECV_NAMES: Dict[type, str] = {}
+
+
+def _recv_name(message: Message) -> str:
+    name = _RECV_NAMES.get(type(message))
+    if name is None:
+        name = f"recv {message_kind(message)}"
+        _RECV_NAMES[type(message)] = name
+    return name
 
 
 @dataclass(frozen=True)
@@ -59,20 +86,91 @@ SWITCH_PROFILES: Tuple[DeviceProfile, ...] = (
 )
 
 
-@dataclass
 class MessageStats:
-    """Aggregate DVM traffic statistics."""
+    """Aggregate DVM traffic statistics on the shared metric registry.
 
-    messages: int = 0
-    bytes: int = 0
-    per_message_seconds: List[float] = field(default_factory=list)
-    per_device_seconds: Dict[str, float] = field(default_factory=dict)
+    Installs the same instrument schema as the runtime's
+    :class:`~repro.runtime.metrics.ClusterMetrics` (see
+    :mod:`repro.obs.schema`), splitting counting from session control
+    traffic.  The simulator has no session layer, so its ``control``
+    series exist but stay at zero -- itself a parity-checkable fact.
+    The legacy ``messages``/``bytes`` aggregates survive as properties
+    over the registry.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.families = install_dvm_schema(self.registry)
+        self.per_message_seconds: List[float] = []
+        self.per_device_seconds: Dict[str, float] = {}
+        self.convergence_seconds: List[float] = []
+
+    @property
+    def messages(self) -> int:
+        """Total DVM frames sent (all devices, counting + control)."""
+        return int(
+            self.families["dvm_messages_total"].total(direction=DIRECTION_OUT)
+        )
+
+    @property
+    def bytes(self) -> int:
+        """Total DVM wire bytes sent."""
+        return int(
+            self.families["dvm_bytes_total"].total(direction=DIRECTION_OUT)
+        )
+
+    def record_transmit(
+        self,
+        source: str,
+        destination: str,
+        nbytes: int,
+        control: bool = False,
+    ) -> None:
+        """Count one frame leaving ``source`` and arriving at
+        ``destination`` (``nbytes`` may be 0 when byte counting is off)."""
+        kind = KIND_CONTROL if control else KIND_COUNTING
+        messages = self.families["dvm_messages_total"]
+        wire = self.families["dvm_bytes_total"]
+        cast(
+            Counter,
+            messages.labels(
+                device=source, direction=DIRECTION_OUT, kind=kind
+            ),
+        ).inc()
+        cast(
+            Counter,
+            messages.labels(
+                device=destination, direction=DIRECTION_IN, kind=kind
+            ),
+        ).inc()
+        if nbytes:
+            cast(
+                Counter,
+                wire.labels(
+                    device=source, direction=DIRECTION_OUT, kind=kind
+                ),
+            ).inc(nbytes)
+            cast(
+                Counter,
+                wire.labels(
+                    device=destination, direction=DIRECTION_IN, kind=kind
+                ),
+            ).inc(nbytes)
 
     def record_processing(self, device: str, seconds: float) -> None:
         self.per_message_seconds.append(seconds)
         self.per_device_seconds[device] = (
             self.per_device_seconds.get(device, 0.0) + seconds
         )
+        histogram = self.families["verifier_processing_seconds"].labels(
+            device=device
+        )
+        cast(Histogram, histogram).observe(seconds)
+
+    def record_convergence(self, seconds: float) -> None:
+        """One workload operation's injection-to-quiescence time."""
+        self.convergence_seconds.append(seconds)
+        self.families["convergence_seconds"].observe(seconds)
 
 
 class SimulatedNetwork:
@@ -88,6 +186,7 @@ class SimulatedNetwork:
         strict_wire: bool = False,
         count_wire_bytes: bool = True,
         verifier_hosts: Optional[Dict[str, str]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``verifier_hosts`` enables §7's incremental deployment: map a
         device to the host that runs its verifier off-device (a VM or a
@@ -105,6 +204,10 @@ class SimulatedNetwork:
         self.strict_wire = strict_wire
         self.count_wire_bytes = count_wire_bytes
         self.stats = MessageStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled and self.tracer.clock is None:
+            # Span timestamps become simulation seconds.
+            self.tracer.clock = lambda: self.queue.now
         self._profiles = profiles or {}
         self._default_profile = profile
         self.verifier_hosts = dict(verifier_hosts or {})
@@ -120,6 +223,9 @@ class SimulatedNetwork:
             )
             for device in topology.devices
         }
+        if self.tracer.enabled:
+            for verifier in self.verifiers.values():
+                verifier.tracer = self.tracer
         self._busy_until: Dict[str, List[float]] = {
             device: [0.0] * max(1, self.profile_of(device).cores)
             for device in topology.devices
@@ -156,30 +262,70 @@ class SimulatedNetwork:
     # core execution
 
     def _execute(
-        self, device: str, handler: Callable[[], List[Tuple[str, Message]]]
+        self,
+        device: str,
+        handler: Callable[[], List[Tuple[str, Message]]],
+        name: str = "execute",
+        parent_id: Optional[int] = None,
     ) -> None:
         """Run ``handler`` on ``device``, charging measured CPU time.
 
         The device's thread pool (§8) is modeled as ``cores`` parallel
-        lanes: each event runs on the least-busy core.
+        lanes: each event runs on the least-busy core.  With tracing on,
+        the execution becomes a span at simulated time whose parent is
+        the span that emitted the message being processed -- possibly on
+        another device -- so the trace renders the propagation wave.
         """
         host = self.host_of(device)
         cores = self._busy_until[host]
         core_index = min(range(len(cores)), key=cores.__getitem__)
         start_sim = max(self.queue.now, cores[core_index])
-        wall_start = _time.perf_counter()
-        outgoing = handler()
-        elapsed = (_time.perf_counter() - wall_start) * self.profile_of(
-            host
-        ).cpu_scale
+        tracer = self.tracer
+        if not tracer.enabled:
+            wall_start = _time.perf_counter()
+            outgoing = handler()
+            elapsed = (_time.perf_counter() - wall_start) * self.profile_of(
+                host
+            ).cpu_scale
+            span_id: Optional[int] = None
+        else:
+            # Inlined tracer.span() (begin/pop + one record_span) so the
+            # measured section carries no context-manager machinery: the
+            # cost model stays byte-for-byte the untraced one.
+            span_id = tracer.begin_span()
+            try:
+                wall_start = _time.perf_counter()
+                outgoing = handler()
+                elapsed = (
+                    _time.perf_counter() - wall_start
+                ) * self.profile_of(host).cpu_scale
+            finally:
+                tracer.pop_span()
+            tracer.record_span(
+                name,
+                start=start_sim,
+                end=start_sim + elapsed,
+                device=host,
+                cat=CAT_SIM,
+                span_id=span_id,
+                parent_id=parent_id,
+                attrs={"core": core_index, "cost_seconds": elapsed},
+            )
         completion = start_sim + elapsed
         cores[core_index] = completion
         self.stats.record_processing(host, elapsed)
         for destination, message in outgoing:
-            self._transmit(device, destination, message, completion)
+            self._transmit(
+                device, destination, message, completion, parent_id=span_id
+            )
 
     def _transmit(
-        self, source: str, destination: str, message: Message, when: float
+        self,
+        source: str,
+        destination: str,
+        message: Message,
+        when: float,
+        parent_id: Optional[int] = None,
     ) -> None:
         link_key = (source, destination)
         proxied = source in self.verifier_hosts or destination in self.verifier_hosts
@@ -201,16 +347,18 @@ class SimulatedNetwork:
             )
             if latency == float("inf"):
                 return  # hosts disconnected
-        self.stats.messages += 1
+        nbytes = 0
         if self.count_wire_bytes:
             payload = encode_message(message)
-            self.stats.bytes += len(payload)
+            nbytes = len(payload)
             if self.strict_wire:
                 message = decode_message(payload, self.factory)
+        self.stats.record_transmit(source, destination, nbytes)
         arrival = max(
             when + latency, self._channel_clock.get(link_key, 0.0)
         )
         self._channel_clock[link_key] = arrival
+        recv_name = _recv_name(message) if self.tracer.enabled else "recv"
 
         def deliver(
             device: str = destination, payload_message: Message = message
@@ -218,6 +366,8 @@ class SimulatedNetwork:
             self._execute(
                 device,
                 lambda: self.verifiers[device].on_message(payload_message),
+                name=recv_name,
+                parent_id=parent_id,
             )
 
         self.queue.schedule(max(arrival, self.queue.now), deliver)
@@ -225,22 +375,58 @@ class SimulatedNetwork:
     # ------------------------------------------------------------------
     # workload operations (each returns the convergence time in seconds)
 
+    def _begin_op(self, label: str) -> Optional[int]:
+        """Start a traced verification session; returns the op span id.
+
+        The id is allocated up front so every event the operation
+        schedules can parent to it; the span itself is recorded once the
+        network quiesces (:meth:`_finish_op`).
+        """
+        if not self.tracer.enabled:
+            return None
+        self.tracer.begin_operation(label)
+        return self.tracer.next_id()
+
+    def _finish_op(
+        self, span_id: Optional[int], name: str, start: float, elapsed: float
+    ) -> float:
+        self.stats.record_convergence(elapsed)
+        if span_id is not None:
+            self.tracer.event(
+                "quiescence", cat=CAT_SIM, parent_id=span_id
+            )
+            self.tracer.record_span(
+                name,
+                start=start,
+                end=start + elapsed,
+                cat=CAT_OP,
+                span_id=span_id,
+                attrs={"convergence_seconds": elapsed},
+            )
+        return elapsed
+
     def install_plan(self, plan_id: str, plan: Plan) -> float:
         """Distribute tasks (planner-side, untimed) and run to quiescence."""
         self._plans[plan_id] = plan
+        op = self._begin_op(f"install_plan:{plan_id}")
         start = self.queue.now
         for device in plan.devices():
             verifier = self.verifiers[device]
             self.queue.schedule(
                 self.queue.now,
                 lambda v=verifier: self._execute(
-                    v.device, lambda: v.install_plan(plan_id, plan)
+                    v.device,
+                    lambda: v.install_plan(plan_id, plan),
+                    name="install_plan",
+                    parent_id=op,
                 ),
             )
-        return self.run_to_quiescence() - start
+        elapsed = self.run_to_quiescence() - start
+        return self._finish_op(op, f"install_plan:{plan_id}", start, elapsed)
 
     def install_plans(self, plans: Dict[str, Plan]) -> float:
         """Install many plans as one burst; returns total convergence time."""
+        op = self._begin_op(f"install_plans:{len(plans)}")
         start = self.queue.now
         for plan_id, plan in plans.items():
             self._plans[plan_id] = plan
@@ -249,22 +435,35 @@ class SimulatedNetwork:
                 self.queue.schedule(
                     self.queue.now,
                     lambda v=verifier, i=plan_id, p=plan: self._execute(
-                        v.device, lambda: v.install_plan(i, p)
+                        v.device,
+                        lambda: v.install_plan(i, p),
+                        name="install_plan",
+                        parent_id=op,
                     ),
                 )
-        return self.run_to_quiescence() - start
+        elapsed = self.run_to_quiescence() - start
+        return self._finish_op(
+            op, f"install_plans:{len(plans)}", start, elapsed
+        )
 
     def burst_fib_event(self, devices: Optional[Sequence[str]] = None) -> float:
         """All devices (re)read their FIBs at once -- the burst-update
         scenario of §9.2/§9.3.2."""
+        op = self._begin_op("burst_fib_event")
         start = self.queue.now
         for device in devices or self.topology.devices:
             verifier = self.verifiers[device]
             self.queue.schedule(
                 self.queue.now,
-                lambda v=verifier: self._execute(v.device, v.on_fib_changed),
+                lambda v=verifier: self._execute(
+                    v.device,
+                    v.on_fib_changed,
+                    name="fib_changed",
+                    parent_id=op,
+                ),
             )
-        return self.run_to_quiescence() - start
+        elapsed = self.run_to_quiescence() - start
+        return self._finish_op(op, "burst_fib_event", start, elapsed)
 
     def fib_update(self, device: str, mutate: Callable[[], None]) -> float:
         """Apply one rule update at ``device`` and verify incrementally.
@@ -272,15 +471,22 @@ class SimulatedNetwork:
         For proxied devices the update must first travel from the device
         to its verifier's host over the management network.
         """
+        op = self._begin_op(f"fib_update:{device}")
         start = self.queue.now
         mutate()
         verifier = self.verifiers[device]
         delay = self._host_latency(device, self.host_of(device))
         self.queue.schedule(
             self.queue.now + delay,
-            lambda: self._execute(device, verifier.on_fib_changed),
+            lambda: self._execute(
+                device,
+                verifier.on_fib_changed,
+                name="fib_changed",
+                parent_id=op,
+            ),
         )
-        return self.run_to_quiescence() - start
+        elapsed = self.run_to_quiescence() - start
+        return self._finish_op(op, f"fib_update:{device}", start, elapsed)
 
     def fail_link(self, a: str, b: str) -> float:
         """Fail link (a, b); both endpoints flood and the network recounts."""
@@ -292,16 +498,22 @@ class SimulatedNetwork:
         return self._link_event(a, b, up=True)
 
     def _link_event(self, a: str, b: str, up: bool) -> float:
+        label = f"link_{'recover' if up else 'fail'}:{a}-{b}"
+        op = self._begin_op(label)
         start = self.queue.now
         for device in (a, b):
             verifier = self.verifiers[device]
             self.queue.schedule(
                 self.queue.now,
                 lambda v=verifier: self._execute(
-                    v.device, lambda: v.on_link_event((a, b), up)
+                    v.device,
+                    lambda: v.on_link_event((a, b), up),
+                    name="link_event",
+                    parent_id=op,
                 ),
             )
-        return self.run_to_quiescence() - start
+        elapsed = self.run_to_quiescence() - start
+        return self._finish_op(op, label, start, elapsed)
 
     def run_to_quiescence(self) -> float:
         """Drain all events; returns the simulation time reached.

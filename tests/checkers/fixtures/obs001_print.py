@@ -1,0 +1,38 @@
+"""OBS001: bare ``print()`` in library code bypasses structured logging."""
+
+import sys
+
+from repro.obs.log import get_logger, kv
+
+logger = get_logger("fixture")
+
+
+def debug_leftover(value: int) -> None:
+    print(f"value is {value}")  # expect: OBS001
+
+
+def stderr_is_still_stdout_discipline(reason: str) -> None:
+    print(reason, file=sys.stderr)  # expect: OBS001
+
+
+def structured_is_fine(value: int) -> None:
+    logger.debug("value computed", extra=kv(value=value))
+
+
+class Renderer:
+    def print(self, text: str) -> str:
+        return text
+
+
+def method_named_print_is_fine(renderer: Renderer) -> str:
+    # An attribute call is not the builtin; only bare print() is flagged.
+    return renderer.print("table")
+
+
+def print_table_helper_is_fine(rows: list) -> int:
+    # A different callable whose name merely starts with "print".
+    return print_rows(rows)
+
+
+def print_rows(rows: list) -> int:
+    return len(rows)

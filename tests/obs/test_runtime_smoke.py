@@ -1,0 +1,74 @@
+"""Tracing smoke test on the asyncio/TCP runtime.
+
+Boots a real cluster with a tracer attached and checks the lifecycle
+story end to end: session establishment events, causally-linked
+``recv UPDATE`` spans crossing device boundaries, and a quiescence
+instant parented to the operation span -- the same shape the simulator
+backend produces, so one trace viewer serves both.
+"""
+
+from repro.bench.workloads import build_workload
+from repro.obs.export import validate_records
+from repro.obs.trace import CAT_OP, CAT_SESSION, Tracer
+from repro.runtime.cluster import RuntimeCluster
+
+
+def test_runtime_trace_covers_sessions_wave_and_quiescence(
+    run, fast_options
+):
+    workload = build_workload("INet2", max_destinations=1)
+    tracer = Tracer()
+
+    async def scenario():
+        cluster = RuntimeCluster(
+            workload.topology,
+            workload.fibs,
+            workload.factory,
+            tracer=tracer,
+            **fast_options,
+        )
+        await cluster.start()
+        try:
+            await cluster.install_plans(dict(workload.plans))
+            return tracer.records()
+        finally:
+            await cluster.stop()
+
+    records = run(scenario())
+    assert records, "tracing a runtime burst produced no records"
+    assert validate_records(records) == []
+    by_id = {record.span_id: record for record in records}
+
+    # Every TCP session that came up left an establishment event.
+    established = [
+        record for record in records if record.name == "session.established"
+    ]
+    assert established, "no session.established events traced"
+    assert all(record.cat == CAT_SESSION for record in established)
+    assert all(record.attrs.get("peer") for record in established)
+
+    # The counting wave: UPDATE deliveries whose parent is the emitting
+    # handler on the *sending* device.
+    recv_updates = [
+        record for record in records if record.name == "recv UPDATE"
+    ]
+    assert recv_updates, "no UPDATE deliveries traced over TCP"
+    cross_device = [
+        record
+        for record in recv_updates
+        if record.parent_id in by_id
+        and by_id[record.parent_id].device
+        and by_id[record.parent_id].device != record.device
+    ]
+    assert cross_device, "no cross-device parent links in the trace"
+
+    # The burst is one operation: an op span wrapping the convergence,
+    # with the quiescence instant parented to it.
+    ops = [record for record in records if record.cat == CAT_OP]
+    assert len(ops) == 1
+    op = ops[0]
+    assert op.name.startswith("install_plans")
+    assert op.attrs.get("convergence_seconds") is not None
+    quiescence = [record for record in records if record.name == "quiescence"]
+    assert quiescence
+    assert all(record.parent_id == op.span_id for record in quiescence)
