@@ -1,11 +1,13 @@
-"""Telemetry overhead microbench: tracing must stay cheap.
+"""Telemetry overhead microbench: tracing and live serving stay cheap.
 
 Tracing is opt-in; when it *is* on, the acceptance budget is <= 10 %
-wall-clock overhead on the INet2 burst workload.  Wall times on a busy
-CI box are noisy, so both variants run interleaved and the comparison
-uses best-of-N (the minimum is the least-perturbed sample of a
-deterministic computation); a small epsilon absorbs timer jitter on the
-sub-100 ms runs.
+wall-clock overhead on the INet2 burst workload.  The same budget
+applies to the runtime backend's embedded telemetry servers when they
+are up but *unscraped* (an idle ``asyncio.Server`` per agent must cost
+nothing on the datapath).  Wall times on a busy CI box are noisy, so
+both variants run interleaved and the comparison uses best-of-N (the
+minimum is the least-perturbed sample of a deterministic computation);
+a small epsilon absorbs timer jitter on the sub-100 ms runs.
 """
 
 import time
@@ -13,13 +15,15 @@ import time
 from conftest import write_table
 
 from repro.bench.reporting import format_seconds, print_table
-from repro.bench.runners import run_tulkun_burst
+from repro.bench.runners import run_runtime_burst, run_tulkun_burst
 from repro.bench.workloads import build_workload
 from repro.obs.trace import Tracer
 
 ROUNDS = 5
+RUNTIME_ROUNDS = 3
 OVERHEAD_BUDGET = 1.10
 EPSILON_SECONDS = 0.020
+RUNTIME_EPSILON_SECONDS = 0.050
 
 
 def _one_burst(tracer):
@@ -76,4 +80,72 @@ def test_tracing_overhead_within_budget(benchmark, out_dir):
         f"tracing overhead {traced_best / plain_best:.2f}x exceeds "
         f"{OVERHEAD_BUDGET:.2f}x budget "
         f"({format_seconds(plain_best)} -> {format_seconds(traced_best)})"
+    )
+
+
+def _one_runtime_burst(http_enabled):
+    workload = build_workload("INet2", max_destinations=2)
+    start = time.perf_counter()
+    timing = run_runtime_burst(
+        workload,
+        http_enabled=http_enabled,
+        keepalive_interval=0.2,
+        quiescence_grace=0.03,
+        settle_rounds=2,
+    )
+    return time.perf_counter() - start, timing
+
+
+def run_runtime_interleaved():
+    _one_runtime_burst(False)  # warmup
+    plain_walls, served_walls = [], []
+    last_plain = last_served = None
+    for _ in range(RUNTIME_ROUNDS):
+        wall, timing = _one_runtime_burst(False)
+        plain_walls.append(wall)
+        last_plain = timing
+        wall, timing = _one_runtime_burst(True)
+        served_walls.append(wall)
+        last_served = timing
+    return plain_walls, served_walls, last_plain, last_served
+
+
+def test_http_server_overhead_within_budget(benchmark, out_dir):
+    """Telemetry servers up but unscraped: <= 10% runtime-burst overhead."""
+    plain_walls, served_walls, plain, served = benchmark.pedantic(
+        run_runtime_interleaved, rounds=1, iterations=1
+    )
+    plain_best = min(plain_walls)
+    served_best = min(served_walls)
+    rows = [
+        {
+            "variant": "http off",
+            "best wall": format_seconds(plain_best),
+            "median wall": format_seconds(
+                sorted(plain_walls)[len(plain_walls) // 2]
+            ),
+        },
+        {
+            "variant": "http on (unscraped)",
+            "best wall": format_seconds(served_best),
+            "median wall": format_seconds(
+                sorted(served_walls)[len(served_walls) // 2]
+            ),
+        },
+    ]
+    text = print_table(
+        "Telemetry overhead: INet2 runtime burst, /metrics unscraped", rows
+    )
+    write_table(out_dir, "obs_http_overhead.txt", text)
+
+    # Counting traffic is untouched by the idle telemetry servers.
+    assert served.messages == plain.messages
+    assert served.bytes == plain.bytes
+    assert (
+        served_best
+        <= plain_best * OVERHEAD_BUDGET + RUNTIME_EPSILON_SECONDS
+    ), (
+        f"http-server overhead {served_best / plain_best:.2f}x exceeds "
+        f"{OVERHEAD_BUDGET:.2f}x budget "
+        f"({format_seconds(plain_best)} -> {format_seconds(served_best)})"
     )

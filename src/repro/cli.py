@@ -13,6 +13,12 @@ Commands:
 * ``trace``     -- run one traced burst workload on either backend and
   export telemetry artifacts (JSONL + Chrome-trace spans, metrics in
   JSON and Prometheus text form); see ``docs/OBSERVABILITY.md``.
+* ``top``       -- scrape the live ``/metrics`` + ``/healthz`` endpoints
+  of a running fleet (testbed agents or a ``serve_registry`` export)
+  and render a refreshing per-device table (``--once --json`` for
+  scripting).
+* ``bench``     -- run the burst + incremental benchmark over datasets
+  and write ``BENCH_summary.json`` (timings, traffic, scrape overhead).
 * ``lint``      -- run the repro-lint static analyzers (async-safety,
   DVM wire-protocol consistency, hygiene) over the codebase; see
   :mod:`repro.checkers` and ``docs/STATIC_ANALYSIS.md``.
@@ -28,6 +34,9 @@ Examples::
     python -m repro verify --topology net.json --fibs rules.json \
         --invariant "(*, [S], (exist >= 1, S.*D))"
     python -m repro testbed --dataset inet2 --json --out results.json
+    python -m repro testbed --http-base-port 9600 --linger 600
+    python -m repro top 127.0.0.1:9600 127.0.0.1:9601 --once --json
+    python -m repro bench --json
     python -m repro trace --dataset inet2 --backend simulator --out trace-out
 """
 
@@ -35,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.core import Tulkun
@@ -179,7 +189,22 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
         backend="runtime",
         keepalive_interval=args.keepalive,
         op_timeout=args.timeout,
+        http_enabled=not args.no_http,
+        http_base_port=args.http_base_port,
     ) as deployment:
+        endpoints = deployment.http_endpoints
+        if endpoints:
+            say(
+                "live telemetry (/metrics /healthz /vars): "
+                + ", ".join(
+                    f"{device}=http://{host}:{port}"
+                    for device, (host, port) in endpoints.items()
+                )
+            )
+        document["http_endpoints"] = {
+            device: f"{host}:{port}"
+            for device, (host, port) in endpoints.items()
+        }
         plan_ids = []
         for destination in owners:
             for cidr in topology.external_prefixes(destination):
@@ -273,12 +298,241 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
             "total_reconnects": reconnects,
             "registry": deployment.metrics.registry.as_dict(),
         }
+        # Emit results *before* any linger so scripts (and CI) can read
+        # them while the fleet keeps serving telemetry.
+        text = render_json(document, args.out)
+        if args.json:
+            print(text, end="")
+        elif args.out:
+            say(f"wrote JSON results to {args.out}")
+        sys.stdout.flush()
+        if args.linger > 0:
+            say(
+                f"lingering {args.linger:g}s with live telemetry up "
+                "(scrape with curl or `python -m repro top`) ..."
+            )
+            time.sleep(args.linger)
+    return 0
+
+
+def _parse_endpoint(spec: str) -> Optional[tuple]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        return None
+    return (host, int(port))
+
+
+def _sample_row(sample) -> dict:
+    """One ``repro top`` table row from a collector DeviceSample."""
+    status = sample.status.upper()
+    if sample.stalled:
+        status += " STALLED"
+    return {
+        "device": sample.device,
+        "health": status,
+        "phase": (sample.health or {}).get("phase", "-"),
+        "msgs in/out": f"{sample.messages_in}/{sample.messages_out}",
+        "bytes in/out": f"{sample.bytes_in}/{sample.bytes_out}",
+        "inbox": sample.inbox_depth,
+        "pending": sample.pending_out,
+        "scrape ms": f"{sample.latency_seconds * 1e3:.1f}",
+        "stale s": f"{sample.staleness_seconds:.1f}",
+    }
+
+
+def _snapshot_document(snapshot) -> dict:
+    return {
+        "state": snapshot.state,
+        "alerts": snapshot.alerts,
+        "devices": [
+            {
+                "device": sample.device,
+                "target": f"{sample.target[0]}:{sample.target[1]}",
+                "status": sample.status,
+                "stalled": sample.stalled,
+                "http_status": sample.http_status,
+                "latency_seconds": sample.latency_seconds,
+                "staleness_seconds": sample.staleness_seconds,
+                "messages_in": sample.messages_in,
+                "messages_out": sample.messages_out,
+                "bytes_in": sample.bytes_in,
+                "bytes_out": sample.bytes_out,
+                "inbox_depth": sample.inbox_depth,
+                "pending_out": sample.pending_out,
+                "error": sample.error,
+            }
+            for sample in snapshot.samples
+        ],
+    }
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live per-device fleet table scraped from telemetry endpoints."""
+    import asyncio
+    import json
+
+    from repro.bench.reporting import print_table
+    from repro.obs.collector import Collector
+
+    targets = []
+    for spec in args.endpoints:
+        target = _parse_endpoint(spec)
+        if target is None:
+            print(
+                f"bad endpoint {spec!r} (expected HOST:PORT)",
+                file=sys.stderr,
+            )
+            return 2
+        targets.append(target)
+    collector = Collector(
+        targets, timeout=args.timeout, stall_scrapes=args.stall_scrapes
+    )
+    refreshing = not (args.once or args.json) and sys.stdout.isatty()
+
+    async def watch() -> int:
+        cycles = 0
+        while True:
+            snapshot = await collector.scrape_once()
+            cycles += 1
+            if args.json:
+                print(
+                    json.dumps(
+                        _snapshot_document(snapshot),
+                        indent=2,
+                        sort_keys=True,
+                        default=str,
+                    )
+                )
+            else:
+                if refreshing:
+                    print("\x1b[2J\x1b[H", end="")
+                print_table(
+                    f"fleet: {snapshot.state}  "
+                    f"({len(snapshot.samples)} devices, scrape #{cycles})",
+                    [_sample_row(sample) for sample in snapshot.samples],
+                )
+                for alert in snapshot.alerts:
+                    print(
+                        f"ALERT [{alert['kind']}] {alert['device']}: "
+                        f"{alert['detail']}"
+                    )
+            if args.once or (args.count and cycles >= args.count):
+                return 0 if snapshot.state == "ok" else 1
+            await asyncio.sleep(args.interval)
+
+    try:
+        return asyncio.run(watch())
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Burst + incremental benchmark summary -> ``BENCH_summary.json``.
+
+    Per dataset: simulator burst convergence, the incremental-update
+    distribution (p50/p80/max), message/byte totals, and the live-scrape
+    overhead numbers (one :class:`~repro.obs.serve.TelemetryServer` over
+    the run's registry, timed ``GET /metrics`` round-trips).
+    """
+    from repro.bench.reporting import print_table, render_json
+    from repro.bench.runners import (
+        quantile,
+        run_tulkun_burst,
+        run_tulkun_incremental,
+    )
+    from repro.bench.workloads import build_workload, random_rule_updates
+
+    try:
+        datasets = [_resolve_dataset(name) for name in args.datasets]
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    document: dict = {
+        "command": "bench",
+        "scale": args.scale,
+        "destinations": args.destinations,
+        "updates": args.updates,
+        "datasets": {},
+    }
+    rows = []
+    for name in datasets:
+        if not args.json:
+            print(f"benchmarking {name} (scale={args.scale}) ...")
+        workload = build_workload(
+            name, scale=args.scale, max_destinations=args.destinations
+        )
+        burst = run_tulkun_burst(workload)
+        updates = random_rule_updates(workload, args.updates)
+        incremental = run_tulkun_incremental(
+            workload, updates, network=burst.network
+        )
+        times = incremental.incremental_seconds
+        scrape = _scrape_overhead(burst.network.stats.registry)
+        document["datasets"][name] = {
+            "devices": workload.topology.num_devices,
+            "plans": len(workload.plans),
+            "rules": workload.total_rules,
+            "burst_seconds": burst.burst_seconds,
+            "incremental_count": len(times),
+            "incremental_p50_seconds": quantile(times, 0.5),
+            "incremental_p80_seconds": quantile(times, 0.8),
+            "incremental_max_seconds": max(times),
+            "messages_total": incremental.messages,
+            "bytes_total": incremental.bytes,
+            "scrape_overhead": scrape,
+        }
+        rows.append(
+            {
+                "dataset": name,
+                "devices": workload.topology.num_devices,
+                "burst ms": f"{burst.burst_seconds * 1e3:.2f}",
+                "inc p80 ms": f"{quantile(times, 0.8) * 1e3:.3f}",
+                "msgs": incremental.messages,
+                "bytes": incremental.bytes,
+                "scrape ms": f"{scrape['latency_p50_seconds'] * 1e3:.2f}",
+                "scrape bytes": scrape["metrics_bytes"],
+            }
+        )
     text = render_json(document, args.out)
     if args.json:
         print(text, end="")
-    elif args.out:
-        say(f"wrote JSON results to {args.out}")
+    else:
+        print_table("bench summary", rows)
+        if args.out:
+            print(f"wrote {args.out}")
     return 0
+
+
+def _scrape_overhead(registry, samples: int = 5) -> dict:
+    """Timed ``GET /metrics`` round-trips against a one-shot server."""
+    import asyncio
+    import statistics
+
+    from repro.obs.serve import TelemetryServer, http_get
+
+    async def measure() -> dict:
+        server = TelemetryServer(lambda: registry)
+        await server.start()
+        try:
+            latencies = []
+            body = b""
+            for _ in range(samples):
+                start = time.perf_counter()
+                _, body = await http_get(
+                    server.host, server.port, "/metrics"
+                )
+                latencies.append(time.perf_counter() - start)
+            return {
+                "samples": samples,
+                "metrics_bytes": len(body),
+                "latency_p50_seconds": statistics.median(latencies),
+                "latency_max_seconds": max(latencies),
+            }
+        finally:
+            await server.stop()
+
+    return asyncio.run(measure())
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -366,6 +620,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"  ... and {len(errors) - 20} more", file=sys.stderr)
         return 1
     print("  trace schema validation OK")
+    if args.serve > 0:
+        from repro.obs.serve import serve_registry
+
+        serve_registry(
+            registry,
+            port=args.serve_port,
+            duration=args.serve,
+            on_ready=lambda port: print(
+                f"  serving /metrics /healthz /vars on "
+                f"http://127.0.0.1:{port} for {args.serve:g}s ..."
+            ),
+        )
     return 0
 
 
@@ -454,6 +720,117 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON results document to this file",
     )
+    testbed.add_argument(
+        "--http-base-port",
+        type=int,
+        default=None,
+        help=(
+            "base port for the per-agent telemetry servers (device i of "
+            "the sorted device list serves on base+i; default: ephemeral "
+            "ports, printed at boot)"
+        ),
+    )
+    testbed.add_argument(
+        "--no-http",
+        action="store_true",
+        help="disable the per-agent /metrics + /healthz servers",
+    )
+    testbed.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        help=(
+            "keep the fleet (and its telemetry endpoints) up this many "
+            "seconds after the workload, for live scraping (default: 0)"
+        ),
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live per-device table scraped from /metrics + /healthz",
+    )
+    top.add_argument(
+        "endpoints",
+        nargs="+",
+        metavar="HOST:PORT",
+        help="telemetry endpoints of the agents to watch",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between scrapes (default: 1.0)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="scrape once and exit (0 = fleet ok, 1 = degraded)",
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="exit after this many scrapes (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON snapshot per scrape instead of a table",
+    )
+    top.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        help="per-endpoint scrape timeout in seconds (default: 2.0)",
+    )
+    top.add_argument(
+        "--stall-scrapes",
+        type=int,
+        default=2,
+        help=(
+            "consecutive frozen scrapes mid-convergence before a stall "
+            "alert (default: 2)"
+        ),
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="benchmark datasets and write BENCH_summary.json",
+    )
+    bench.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["INet2", "B4-13"],
+        help="datasets to benchmark (default: INet2 B4-13)",
+    )
+    bench.add_argument(
+        "--scale",
+        default="bench",
+        choices=("paper", "bench", "tiny"),
+        help="dataset scale (default: bench)",
+    )
+    bench.add_argument(
+        "--destinations",
+        type=int,
+        default=4,
+        help="invariant destinations per dataset (default: 4)",
+    )
+    bench.add_argument(
+        "--updates",
+        type=int,
+        default=20,
+        help="incremental rule updates per dataset (default: 20)",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_summary.json",
+        help="summary JSON path (default: BENCH_summary.json)",
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="also print the summary document to stdout",
+    )
 
     trace = commands.add_parser(
         "trace",
@@ -487,6 +864,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="trace-out",
         help="output directory for the artifacts (default: trace-out)",
     )
+    trace.add_argument(
+        "--serve",
+        type=float,
+        default=0.0,
+        help=(
+            "after exporting, serve the run's registry over HTTP for "
+            "this many seconds (default: 0 = don't serve)"
+        ),
+    )
+    trace.add_argument(
+        "--serve-port",
+        type=int,
+        default=0,
+        help="port for --serve (default: 0 = ephemeral, printed)",
+    )
 
     lint = commands.add_parser(
         "lint",
@@ -506,6 +898,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _cmd_verify,
         "testbed": _cmd_testbed,
         "trace": _cmd_trace,
+        "top": _cmd_top,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -1,15 +1,25 @@
 """repro.obs -- the shared observability layer.
 
-Three parts, zero dependencies, shared by the discrete-event simulator
+Four parts, zero dependencies, shared by the discrete-event simulator
 and the asyncio/TCP runtime (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`repro.obs.metrics` + :mod:`repro.obs.schema` -- the metrics
   registry and the one DVM metric schema both backends install;
 * :mod:`repro.obs.trace` + :mod:`repro.obs.export` -- causally-linked
   span tracing with JSONL and Chrome-trace (Perfetto) exporters;
-* :mod:`repro.obs.log` -- structured (key=value / JSON) logging.
+* :mod:`repro.obs.log` -- structured (key=value / JSON) logging;
+* :mod:`repro.obs.serve` + :mod:`repro.obs.collector` -- the live
+  telemetry plane: per-agent ``/metrics`` + ``/healthz`` + ``/vars``
+  HTTP endpoints and the fleet-scraping collector behind
+  ``python -m repro top``.
 """
 
+from repro.obs.collector import (
+    Collector,
+    DeviceSample,
+    FleetSnapshot,
+    parse_prometheus_text,
+)
 from repro.obs.export import (
     read_jsonl,
     to_chrome,
@@ -28,12 +38,22 @@ from repro.obs.metrics import (
     MetricFamily,
     MetricsRegistry,
 )
-from repro.obs.schema import DVM_METRIC_NAMES, install_dvm_schema
+from repro.obs.schema import (
+    DVM_METRIC_NAMES,
+    FLEET_METRIC_NAMES,
+    install_dvm_schema,
+    install_fleet_schema,
+)
+from repro.obs.serve import TelemetryServer, http_get, serve_registry
 from repro.obs.trace import NULL_TRACER, SpanHandle, TraceRecord, Tracer
 
 __all__ = [
+    "Collector",
     "Counter",
     "DVM_METRIC_NAMES",
+    "DeviceSample",
+    "FLEET_METRIC_NAMES",
+    "FleetSnapshot",
     "Gauge",
     "Histogram",
     "MetricError",
@@ -41,13 +61,18 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "SpanHandle",
+    "TelemetryServer",
     "TraceRecord",
     "Tracer",
     "configure_logging",
     "get_logger",
+    "http_get",
     "install_dvm_schema",
+    "install_fleet_schema",
     "kv",
+    "parse_prometheus_text",
     "read_jsonl",
+    "serve_registry",
     "to_chrome",
     "validate_jsonl",
     "validate_records",

@@ -220,6 +220,12 @@ class MetricFamily:
         self.buckets = buckets
         self._children: Dict[LabelValues, object] = {}
         self._lock = threading.Lock()
+        if not labelnames:
+            # A label-less family is its own single time series; create
+            # it eagerly so a declared-but-never-observed histogram
+            # still exposes ``_sum``/``_count`` (and all-zero buckets)
+            # on /metrics instead of vanishing from the exposition.
+            self.labels()
 
     def signature(self) -> Tuple[str, Tuple[str, ...], Tuple[float, ...]]:
         return (self.kind, self.labelnames, self.buckets)
@@ -425,11 +431,25 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format escaping for a label value.
+
+    The exposition format requires ``\\`` -> ``\\\\``, ``"`` -> ``\\"``
+    and newline -> ``\\n`` inside the double-quoted value; anything else
+    passes through verbatim.  Without this, a hostile device name (or
+    any label carrying a quote) breaks every scraper of ``/metrics``.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(labels_map: Mapping[str, str]) -> str:
     if not labels_map:
         return ""
     inner = ",".join(
-        f'{name}="{value}"' for name, value in sorted(labels_map.items())
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in sorted(labels_map.items())
     )
     return "{" + inner + "}"
 

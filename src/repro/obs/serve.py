@@ -1,0 +1,292 @@
+"""Live telemetry endpoints: a stdlib-only asyncio HTTP server.
+
+The paper's pitch is that verification runs *on the devices* as a
+long-lived distributed protocol -- which means operators need to observe
+a running fleet, not just read files after it exits.  Every runtime
+agent embeds a :class:`TelemetryServer` (wired into the
+``DeviceHost`` lifecycle in :mod:`repro.runtime.cluster`) exposing:
+
+* ``GET /metrics`` -- the shared metrics registry in Prometheus text
+  exposition (scrape it with Prometheus, ``curl``, or the fleet
+  :class:`~repro.obs.collector.Collector`);
+* ``GET /healthz`` -- a JSON liveness document (session states from the
+  OPEN handshake, peer liveness, queue depths, convergence phase,
+  uptime); answers ``503`` when the health provider reports anything
+  but ``"ok"``;
+* ``GET /vars``   -- the full registry as one JSON document (what the
+  collector scrapes to merge fleet state).
+
+The server is deliberately tiny: HTTP/1.1, ``Connection: close``, GET
+only -- enough for ``curl``, Prometheus, and the in-repo collector, with
+no dependency beyond asyncio.  Handlers run on the owning backend's
+event loop and the render path never awaits, so every response is a
+*consistent* snapshot of the registry (no torn reads: writers are
+callbacks on the same loop).
+
+:func:`serve_registry` is the simulator-side counterpart: a one-shot
+blocking server over a finished registry, so ``python -m repro top``
+works against either backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.obs.log import get_logger, kv
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE_JSON",
+    "CONTENT_TYPE_TEXT",
+    "TelemetryServer",
+    "http_get",
+    "serve_registry",
+]
+
+logger = get_logger("obs.serve")
+
+#: Prometheus text exposition content type (format version 0.0.4).
+CONTENT_TYPE_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+CONTENT_TYPE_JSON = "application/json; charset=utf-8"
+
+_REASONS = {
+    200: "OK",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+RegistryProvider = Callable[[], MetricsRegistry]
+HealthProvider = Callable[[], Dict[str, object]]
+
+
+class TelemetryServer:
+    """One agent's (or one registry's) ``/metrics`` + ``/healthz`` server.
+
+    ``registry_provider`` is called per request so the served registry
+    can be swapped or lazily built; ``health_provider`` returns the
+    ``/healthz`` JSON document -- its ``"status"`` key decides the HTTP
+    status (``"ok"`` -> 200, anything else -> 503).
+    """
+
+    def __init__(
+        self,
+        registry_provider: RegistryProvider,
+        health_provider: Optional[HealthProvider] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = 5.0,
+    ) -> None:
+        self._registry_provider = registry_provider
+        self._health_provider = health_provider or self._default_health
+        self.host = host
+        self.port = port  # the bound port after start() (0 = ephemeral)
+        self.request_timeout = request_timeout
+        self.requests_served = 0
+        self._started_at = 0.0
+        self._server: Optional["asyncio.Server"] = None
+
+    def _default_health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "device": "",
+            "phase": "idle",
+            "uptime_seconds": max(0.0, time.monotonic() - self._started_at),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._started_at = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.debug(
+            "telemetry server listening",
+            extra=kv(host=self.host, port=self.port),
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=self.request_timeout
+            )
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return  # not HTTP; hang up
+            method, path = parts[0], parts[1]
+            # Drain (and ignore) the request headers.
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.request_timeout
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = self._render(method, path)
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            self.requests_served += 1
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass  # slow or vanished client: drop the connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _render(self, method: str, path: str) -> Tuple[int, str, bytes]:
+        """(status, content type, body) for one request.  Never awaits."""
+        path = path.split("?", 1)[0]
+        if method not in ("GET", "HEAD"):
+            return 405, CONTENT_TYPE_TEXT, b"GET only\n"
+        if path == "/metrics":
+            registry = self._registry_provider()
+            return 200, CONTENT_TYPE_TEXT, registry.render_text().encode("utf-8")
+        if path == "/vars":
+            registry = self._registry_provider()
+            return 200, CONTENT_TYPE_JSON, registry.render_json().encode("utf-8")
+        if path == "/healthz":
+            try:
+                health = self._health_provider()
+            except Exception as exc:  # surface as unhealthy, not a hang
+                logger.warning(
+                    "health provider raised", extra=kv(error=repr(exc))
+                )
+                health = {"status": "error", "error": repr(exc)}
+            status = 200 if health.get("status") == "ok" else 503
+            body = json.dumps(health, indent=2, sort_keys=True, default=str)
+            return status, CONTENT_TYPE_JSON, body.encode("utf-8")
+        return 404, CONTENT_TYPE_TEXT, b"unknown path\n"
+
+
+# ---------------------------------------------------------------------------
+# minimal HTTP client (the collector's scrape path; stdlib asyncio only)
+
+
+async def http_get(
+    host: str, port: int, path: str, timeout: float = 5.0
+) -> Tuple[int, bytes]:
+    """``GET http://host:port/path``; returns ``(status, body)``.
+
+    Raises ``ConnectionError`` / ``OSError`` when the endpoint is
+    unreachable or answers garbage, ``asyncio.TimeoutError`` on
+    deadline -- the callers treat all three as "agent down".
+    """
+
+    async def _fetch() -> Tuple[int, bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            request = (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(request.encode("latin-1"))
+            await writer.drain()
+            raw = await reader.read(-1)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        head, separator, body = raw.partition(b"\r\n\r\n")
+        status_parts = head.split(b"\r\n", 1)[0].split()
+        if (
+            not separator
+            or len(status_parts) < 2
+            or not status_parts[0].startswith(b"HTTP/")
+        ):
+            raise ConnectionError(
+                f"malformed HTTP response from {host}:{port}{path}"
+            )
+        return int(status_parts[1]), body
+
+    return await asyncio.wait_for(_fetch(), timeout)
+
+
+# ---------------------------------------------------------------------------
+# one-shot registry server (simulator backend / finished runs)
+
+
+def serve_registry(
+    registry: MetricsRegistry,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    device: str = "",
+    duration: Optional[float] = None,
+    health_provider: Optional[HealthProvider] = None,
+    on_ready: Optional[Callable[[int], None]] = None,
+) -> None:
+    """Serve one finished registry over HTTP (blocking).
+
+    The simulator backend has no long-lived agents, so this is its whole
+    live-telemetry surface: run a workload, then
+    ``serve_registry(network.stats.registry, port=9200, duration=600)``
+    and point ``python -m repro top`` (or Prometheus) at it.  ``device``
+    names the exporter in ``/healthz``; an empty string marks the export
+    as a fleet-wide aggregate (the collector then merges every
+    device-labeled series it finds).  ``on_ready`` receives the bound
+    port once listening -- with ``port=0`` that is the only way to learn
+    it.  Returns after ``duration`` seconds (forever when ``None``).
+    """
+    started = time.monotonic()
+
+    def _default_health() -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "device": device,
+            "backend": "registry",
+            "phase": "idle",
+            "uptime_seconds": time.monotonic() - started,
+        }
+
+    async def _run() -> None:
+        server = TelemetryServer(
+            lambda: registry,
+            health_provider or _default_health,
+            host=host,
+            port=port,
+        )
+        await server.start()
+        if on_ready is not None:
+            on_ready(server.port)
+        try:
+            if duration is None:
+                await asyncio.Event().wait()
+            else:
+                await asyncio.sleep(duration)
+        finally:
+            await server.stop()
+
+    asyncio.run(_run())

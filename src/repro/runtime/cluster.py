@@ -40,6 +40,7 @@ from repro.dvm.verifier import (
     Violation,
 )
 from repro.obs.log import get_logger, kv
+from repro.obs.serve import TelemetryServer
 from repro.obs.trace import (
     CAT_OP,
     CAT_RUNTIME,
@@ -76,6 +77,7 @@ class DeviceHost:
         factory: PredicateFactory,
         metrics: DeviceMetrics,
         cluster: "RuntimeCluster",
+        http_port: Optional[int] = None,
     ) -> None:
         self.device = device
         self.verifier = verifier
@@ -93,15 +95,31 @@ class DeviceHost:
         self.server: Optional[asyncio.Server] = None
         self.port: int = 0
         self._pump_task: Optional["asyncio.Task[None]"] = None
+        # Live telemetry (None = disabled on this cluster).  The server
+        # serves the cluster's *shared* registry; /healthz names this
+        # device, which is how a scraper tells the agents apart.
+        self.telemetry: Optional[TelemetryServer] = None
+        self._requested_http_port = http_port
+        self._started_at = 0.0
+        self._health_decode_errors = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
+        self._started_at = time.monotonic()
         self.server = await asyncio.start_server(
             self._accept, host="127.0.0.1", port=0
         )
         self.port = self.server.sockets[0].getsockname()[1]
         self._pump_task = asyncio.get_running_loop().create_task(self._pump())
+        if self._requested_http_port is not None:
+            self.telemetry = TelemetryServer(
+                lambda: self.cluster.metrics.registry,
+                self.health,
+                host=self.cluster.http_host,
+                port=self._requested_http_port,
+            )
+            await self.telemetry.start()
 
     async def stop(self) -> None:
         for session in self.sessions.values():
@@ -113,10 +131,67 @@ class DeviceHost:
             except asyncio.CancelledError:
                 pass
             self._pump_task = None
+        if self.telemetry is not None:
+            await self.telemetry.stop()
+            self.telemetry = None
         if self.server is not None:
             self.server.close()
             await self.server.wait_closed()
             self.server = None
+
+    @property
+    def http_port(self) -> int:
+        """The bound telemetry port (0 when telemetry is disabled)."""
+        return self.telemetry.port if self.telemetry is not None else 0
+
+    # -- health ------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """The /healthz document: sessions, queues, phase, liveness.
+
+        Runs on the cluster's event loop (telemetry handlers share it),
+        so every field is a consistent same-tick snapshot.  ``status``
+        degrades when any administratively-up session is not
+        established or decode errors rose since the previous probe.
+        """
+        peers_down: List[str] = []
+        sessions: Dict[str, Dict[str, object]] = {}
+        for peer in sorted(self.sessions):
+            session = self.sessions[peer]
+            admin_up = self.cluster.link_admin_up(self.device, peer)
+            established = session.is_established
+            if admin_up and not established:
+                peers_down.append(peer)
+            entry: Dict[str, object] = {
+                "established": established,
+                "admin_up": admin_up,
+                "pending_out": session.pending_out,
+            }
+            last_rx_age = session.last_rx_age()
+            if last_rx_age is not None:
+                entry["last_rx_age_seconds"] = round(last_rx_age, 6)
+            sessions[peer] = entry
+        decode_errors = self.metrics.decode_errors
+        decode_errors_rising = decode_errors > self._health_decode_errors
+        self._health_decode_errors = decode_errors
+        status = (
+            "degraded" if peers_down or decode_errors_rising else "ok"
+        )
+        return {
+            "status": status,
+            "device": self.device,
+            "phase": self.cluster.phase,
+            "uptime_seconds": round(
+                max(0.0, time.monotonic() - self._started_at), 6
+            ),
+            "dvm_port": self.port,
+            "http_port": self.http_port,
+            "inbox_depth": self.inbox.qsize(),
+            "sessions": sessions,
+            "peers_down": peers_down,
+            "decode_errors": decode_errors,
+            "decode_errors_rising": decode_errors_rising,
+        }
 
     # -- inbound connections -----------------------------------------------
 
@@ -275,6 +350,9 @@ class RuntimeCluster:
         op_timeout: float = 60.0,
         handshake_timeout: float = 5.0,
         tracer: Optional[Tracer] = None,
+        http_enabled: bool = True,
+        http_base_port: Optional[int] = None,
+        http_host: str = "127.0.0.1",
     ) -> None:
         self.topology = topology
         self.factory = factory
@@ -289,6 +367,9 @@ class RuntimeCluster:
         self.settle_rounds = settle_rounds
         self.op_timeout = op_timeout
         self.handshake_timeout = handshake_timeout
+        self.http_enabled = http_enabled
+        self.http_base_port = http_base_port
+        self.http_host = http_host
         self.hosts: Dict[str, DeviceHost] = {}
         self._plans: Dict[str, Plan] = {}
         self._failed_links: Set[Tuple[str, str]] = set()
@@ -302,6 +383,9 @@ class RuntimeCluster:
         self._op_span: Optional[int] = None
         self._op_label = ""
         self._op_trace_start = 0.0
+        # Convergence phase for /healthz: True between an operation's
+        # injection and its _finish_op (independent of tracing).
+        self._op_open = False
 
     # -- cross-device causality (tracing) -----------------------------------
 
@@ -373,9 +457,15 @@ class RuntimeCluster:
             )
         return time.monotonic() - self._last_activity_wall
 
+    @property
+    def phase(self) -> str:
+        """``"converging"`` while an operation is open, else ``"idle"``."""
+        return "converging" if self._op_open else "idle"
+
     def _begin_op(self, label: str = "op") -> float:
         start = time.monotonic()
         self._last_activity_wall = start
+        self._op_open = True
         if self.tracer.enabled:
             self.tracer.begin_operation(label)
             self._op_span = self.tracer.next_id()
@@ -386,6 +476,7 @@ class RuntimeCluster:
     def _finish_op(self, start: float) -> float:
         """Convergence wall time: last counting activity minus start."""
         elapsed = max(0.0, self._last_activity_wall - start)
+        self._op_open = False
         self.metrics.record_convergence(elapsed)
         if self.tracer.enabled and self._op_span is not None:
             self.tracer.record_span(
@@ -401,8 +492,25 @@ class RuntimeCluster:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def _allocate_http_ports(self) -> Dict[str, Optional[int]]:
+        """Per-device telemetry ports: base+index over sorted names.
+
+        With no base port every agent binds an ephemeral port (read it
+        back from :attr:`http_endpoints`); ``None`` disables telemetry.
+        """
+        ports: Dict[str, Optional[int]] = {}
+        for index, device in enumerate(sorted(self.topology.devices)):
+            if not self.http_enabled:
+                ports[device] = None
+            elif self.http_base_port is None:
+                ports[device] = 0
+            else:
+                ports[device] = self.http_base_port + index
+        return ports
+
     async def start(self) -> None:
         """Boot every host, dial every link, wait for all sessions."""
+        http_ports = self._allocate_http_ports()
         for device in self.topology.devices:
             verifier = OnDeviceVerifier(
                 device,
@@ -418,6 +526,7 @@ class RuntimeCluster:
                 self.factory,
                 self.metrics.device(device),
                 self,
+                http_port=http_ports[device],
             )
             self.hosts[device] = host
             await host.start()
@@ -581,6 +690,15 @@ class RuntimeCluster:
             await self.wait_session(a, b)
         await self.wait_quiescence()
         return self._finish_op(start)
+
+    @property
+    def http_endpoints(self) -> Dict[str, Tuple[str, int]]:
+        """``device -> (host, port)`` of every live telemetry server."""
+        return {
+            device: (self.http_host, host.telemetry.port)
+            for device, host in sorted(self.hosts.items())
+            if host.telemetry is not None
+        }
 
     # -- results (mirror SimulatedNetwork) ----------------------------------
 

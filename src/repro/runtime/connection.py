@@ -152,6 +152,17 @@ class PeerSession:
     def pending_out(self) -> int:
         return self._channel.pending_out if self._channel else 0
 
+    def last_rx_age(self) -> Optional[float]:
+        """Seconds since the last frame from the peer (None when down).
+
+        Keepalives refresh it too, so on a healthy idle session this
+        stays below the hold time -- /healthz exposes it as the peer
+        liveness signal.
+        """
+        if self._channel is None or not self.is_established:
+            return None
+        return max(0.0, time.monotonic() - self._channel.last_rx)
+
     # -- sending -----------------------------------------------------------
 
     def send(self, message: Message) -> bool:

@@ -236,6 +236,16 @@ class RuntimeDeployment:
     def metrics(self) -> ClusterMetrics:
         return self.cluster.metrics
 
+    @property
+    def http_endpoints(self) -> Dict[str, Tuple[str, int]]:
+        """``device -> (host, port)`` of the agents' telemetry servers.
+
+        Scrape ``GET /metrics``, ``/healthz`` or ``/vars`` on any of
+        them (curl, Prometheus, :class:`repro.obs.collector.Collector`,
+        or ``python -m repro top``) while the deployment runs.
+        """
+        return self.cluster.http_endpoints
+
     def metrics_rows(self) -> List[Dict[str, object]]:
         """Per-device metric rows for :mod:`repro.bench.reporting`."""
         return self.cluster.metrics.rows()

@@ -112,3 +112,85 @@ class TestCommands:
 
     def test_verify_neither_source_rejected(self):
         assert main(["verify", "--invariant", "x"]) == 2
+
+
+class TestTopCommand:
+    def test_bad_endpoint_rejected(self, capsys):
+        assert main(["top", "nonsense"]) == 2
+        assert "expected HOST:PORT" in capsys.readouterr().err
+
+    def test_unreachable_fleet_exits_degraded(self, capsys):
+        code = main(["top", "127.0.0.1:1", "--once", "--json"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["state"] == "degraded"
+        assert document["devices"][0]["status"] == "unreachable"
+
+    def test_live_registry_export_scrapes_ok(self, capsys):
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.serve import serve_registry
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "dvm_messages_total",
+            labelnames=("device", "direction", "kind"),
+        ).labels(device="s0", direction="out", kind="counting").inc(7)
+        ready = threading.Event()
+        bound = {}
+
+        def on_ready(port):
+            bound["port"] = port
+            ready.set()
+
+        thread = threading.Thread(
+            target=serve_registry,
+            args=(registry,),
+            kwargs=dict(duration=2.0, on_ready=on_ready),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10.0)
+        code = main(
+            ["top", f"127.0.0.1:{bound['port']}", "--once", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["state"] == "ok"
+        assert document["devices"][0]["messages_out"] == 7
+        thread.join(10.0)
+
+
+class TestBenchCommand:
+    def test_unknown_dataset_rejected(self, capsys):
+        assert main(["bench", "--datasets", "nope"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_writes_summary_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_summary.json"
+        code = main(
+            [
+                "bench",
+                "--datasets",
+                "INet2",
+                "--scale",
+                "tiny",
+                "--destinations",
+                "2",
+                "--updates",
+                "3",
+                "--out",
+                str(out),
+                "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        entry = document["datasets"]["INet2"]
+        assert entry["burst_seconds"] > 0
+        assert entry["incremental_count"] == 3
+        assert entry["messages_total"] > 0
+        assert entry["scrape_overhead"]["metrics_bytes"] > 0
+        # --json mirrors the document to stdout.
+        assert json.loads(capsys.readouterr().out) == document

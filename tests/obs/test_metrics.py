@@ -201,3 +201,38 @@ class TestSharedSchema:
     def test_default_buckets_cover_micro_to_minute(self):
         assert DEFAULT_BUCKETS[0] <= 1e-6
         assert DEFAULT_BUCKETS[-1] >= 60.0
+
+
+class TestLabelEscaping:
+    """Satellite bugfix: Prometheus-compliant label value escaping."""
+
+    HOSTILE = 'rack"7\\core\nr0'
+
+    def test_hostile_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("dvm_frames", labelnames=("device",))
+        counter.labels(device=self.HOSTILE).inc(3)
+        text = registry.render_text()
+        assert (
+            'dvm_frames{device="rack\\"7\\\\core\\nr0"} 3' in text
+        )
+        # No raw newline or unescaped quote may survive inside a label.
+        sample_lines = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_hostile_label_round_trips_through_the_parser(self):
+        from repro.obs.collector import parse_prometheus_text
+
+        registry = MetricsRegistry()
+        counter = registry.counter("dvm_frames", labelnames=("device",))
+        counter.labels(device=self.HOSTILE).inc(3)
+        parsed = parse_prometheus_text(registry.render_text())
+        assert parsed["dvm_frames"] == {(("device", self.HOSTILE),): 3.0}
+
+    def test_benign_labels_render_unchanged(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("dvm_frames", labelnames=("device",))
+        counter.labels(device="INet2-r0").inc()
+        assert 'dvm_frames{device="INet2-r0"} 1' in registry.render_text()

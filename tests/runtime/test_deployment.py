@@ -121,3 +121,48 @@ class TestRuntimeFacade:
         deployment.close()
         with pytest.raises(TulkunError, match="closed"):
             deployment.holds("plan-1")
+
+
+class TestTelemetryEndpoints:
+    def test_every_agent_serves_metrics_and_healthz(self, tulkun_and_fibs):
+        import asyncio
+        import json
+
+        from repro.obs.serve import http_get
+
+        tulkun, fibs = tulkun_and_fibs
+        with tulkun.deploy(fibs, backend="runtime", **FAST) as deployment:
+            endpoints = deployment.http_endpoints
+            assert set(endpoints) == set(tulkun.topology.devices)
+
+            async def probe():
+                for device, (host, port) in endpoints.items():
+                    status, body = await http_get(host, port, "/metrics")
+                    assert status == 200 and b"dvm_" in body
+                    status, body = await http_get(host, port, "/healthz")
+                    assert status == 200
+                    assert json.loads(body)["device"] == device
+
+            asyncio.run(asyncio.wait_for(probe(), 30.0))
+
+    def test_base_port_allocation_follows_sorted_devices(
+        self, tulkun_and_fibs
+    ):
+        tulkun, fibs = tulkun_and_fibs
+        with tulkun.deploy(
+            fibs, backend="runtime", http_base_port=39400, **FAST
+        ) as deployment:
+            endpoints = deployment.http_endpoints
+            for index, device in enumerate(sorted(tulkun.topology.devices)):
+                assert endpoints[device] == ("127.0.0.1", 39400 + index)
+
+    def test_http_disabled_leaves_no_endpoints(self, tulkun_and_fibs):
+        tulkun, fibs = tulkun_and_fibs
+        with tulkun.deploy(
+            fibs, backend="runtime", http_enabled=False, **FAST
+        ) as deployment:
+            assert deployment.http_endpoints == {}
+            assert all(
+                host.telemetry is None
+                for host in deployment.cluster.hosts.values()
+            )
