@@ -14,22 +14,49 @@ reproduction's own code.  Three analyzer families, stdlib ``ast`` only:
 * :mod:`repro.checkers.hygiene` -- exception and API hygiene (EXC001,
   HYG001-002).
 
-Run via ``python -m repro lint`` (see :mod:`repro.checkers.cli`) or the
-library API :func:`run_lint`.  The rule catalog with rationale and
+A second, semantic tier (``python -m repro verify-static``) reasons
+about behavior instead of text:
+
+* :mod:`repro.checkers.fsm` + :mod:`repro.checkers.modelcheck` --
+  extract the PeerSession lifecycle actually implemented, diff it
+  against the declared ``SESSION_TRANSITIONS`` table, and exhaustively
+  explore the two-peer-session product space (FSM001-004).
+* :mod:`repro.checkers.raceflow` -- flow-sensitive cross-``await``
+  race detection over every coroutine (ASYNC006-008).
+
+Run via ``python -m repro lint`` / ``python -m repro verify-static``
+(see :mod:`repro.checkers.cli`) or the library APIs :func:`run_lint`
+and :func:`run_verify_static`.  The rule catalog with rationale and
 examples lives in ``docs/STATIC_ANALYSIS.md``.
 """
 
 from repro.checkers.engine import RULES, LintReport, lint_file, run_lint
 from repro.checkers.findings import Finding, parse_suppressions
+from repro.checkers.fsm import check_fsm_tables, extract_session_fsm
+from repro.checkers.modelcheck import check_model, explore_product
 from repro.checkers.protocol import check_protocol, extract_surface
+from repro.checkers.raceflow import check_raceflow
+from repro.checkers.verifystatic import (
+    VERIFY_RULES,
+    VerifyReport,
+    run_verify_static,
+)
 
 __all__ = [
     "Finding",
     "LintReport",
     "RULES",
+    "VERIFY_RULES",
+    "VerifyReport",
+    "check_fsm_tables",
+    "check_model",
     "check_protocol",
+    "check_raceflow",
+    "explore_product",
+    "extract_session_fsm",
     "extract_surface",
     "lint_file",
     "parse_suppressions",
     "run_lint",
+    "run_verify_static",
 ]

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import List, Optional, TextIO
 
 from repro.checkers.engine import LintReport, run_lint
+from repro.checkers.verifystatic import VerifyReport, run_verify_static
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -40,6 +41,18 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "--no-protocol",
         action="store_true",
         help="skip the cross-file wire-protocol consistency rules",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze cold files on N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the .repro-lint-cache/ finding cache",
     )
 
 
@@ -81,7 +94,8 @@ def render_report(
         print_table("repro-lint: per-rule statistics", report.stats_rows())
         print(
             f"analyzed {report.files_scanned} file(s) in "
-            f"{report.elapsed_seconds * 1e3:.1f} ms",
+            f"{report.elapsed_seconds * 1e3:.1f} ms "
+            f"({report.cache_hits} cache hit(s))",
             file=stream,
         )
 
@@ -92,13 +106,111 @@ def render_report(
         )
 
 
+def configure_verify_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding counts and analysis wall time",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="emit findings as GitHub Actions ::error annotations",
+    )
+
+
+def render_verify_report(
+    report: VerifyReport,
+    *,
+    stats: bool = False,
+    github: bool = False,
+    out: Optional[TextIO] = None,
+) -> None:
+    stream = out or sys.stdout
+    for finding in report.findings:
+        if github:
+            print(finding.render_github(), file=stream)
+        else:
+            print(finding.render(), file=stream)
+            if finding.hint:
+                print(f"    hint: {finding.hint}", file=stream)
+    for error in report.errors:
+        if github:
+            print(f"::error::{error}", file=stream)
+        else:
+            print(f"error: {error}", file=stream)
+
+    if report.suppressed:
+        budget = ", ".join(
+            f"{rule} x{count}"
+            for rule, count in sorted(report.suppressed_counts().items())
+        )
+        print(
+            f"suppression budget: {len(report.suppressed)} finding(s) "
+            f"disabled inline ({budget})",
+            file=stream,
+        )
+
+    if report.fsm_checked:
+        liveness = (
+            "ESTABLISHED/ESTABLISHED reachable"
+            if report.established_reachable
+            else "ESTABLISHED/ESTABLISHED UNREACHABLE"
+        )
+        print(
+            "model: explored "
+            f"{report.states_explored} product state(s) / "
+            f"{report.transitions_explored} transition(s) to fixpoint "
+            f"({liveness})",
+            file=stream,
+        )
+
+    if stats:
+        from repro.bench.reporting import print_table
+
+        print_table("verify-static: per-rule statistics", report.stats_rows())
+        print(
+            f"analyzed {report.files_scanned} file(s) in "
+            f"{report.elapsed_seconds * 1e3:.1f} ms",
+            file=stream,
+        )
+
+    if report.clean and not github:
+        print(
+            f"ok: {report.files_scanned} file(s) verify-static clean",
+            file=stream,
+        )
+
+
+def cmd_verify_static(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = run_verify_static(paths)
+    render_verify_report(report, stats=args.stats, github=args.github)
+    return 0 if report.clean else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     paths = [Path(p) for p in args.paths]
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
         print(f"no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-    report = run_lint(paths, protocol=not args.no_protocol)
+    report = run_lint(
+        paths,
+        protocol=not args.no_protocol,
+        jobs=max(1, args.jobs),
+        cache=not args.no_cache,
+    )
     render_report(report, stats=args.stats, github=args.github)
     return 0 if report.clean else 1
 

@@ -1,0 +1,449 @@
+"""Flow-sensitive async race detection (ASYNC006-ASYNC008).
+
+The syntactic ``asyncsafety`` rules catch blocking calls and bare
+``create_task``; this pass reasons about *interleavings*.  Inside a
+coroutine, every ``await`` is a suspension point where the event loop
+may run any other task, so instance state read before an ``await`` and
+written after it is a read-modify-write that another task can split.
+
+For each class the checker builds a per-coroutine event stream --
+attribute reads, attribute writes, and suspension points, in evaluation
+order, each tagged with whether an ``async with <lock>`` is held -- and
+then looks for three shapes:
+
+* **ASYNC006** -- a coroutine reads ``self.X`` before a suspension
+  point and writes ``self.X`` after it, unlocked, where ``X`` is shared
+  (some other method of the class also touches it).  The classic lost
+  update: the value read is stale by the time the write lands.
+* **ASYNC007** -- ``self.X`` is written, unlocked, by two or more
+  different coroutine methods.  Even without a visible RMW the last
+  writer wins and the loser's update vanishes silently.
+* **ASYNC008** -- an ``if`` guard tests ``self.X``, the body suspends,
+  and ``self.X`` is *read again* after the suspension inside the body:
+  the guard may no longer hold (time-of-check to time-of-use).
+
+Suppressing a true single-writer pattern: the runtime deliberately has
+one supervising task own certain attributes (session teardown runs in
+``stop()`` after every other task is cancelled, for instance), which a
+flow analysis cannot see.  Those attributes are declared in
+:data:`OWNED_ATTRIBUTES` -- an explicit, reviewed allowlist keyed
+``ClassName.attr`` -- instead of inline suppressions, so ownership
+claims live in one auditable place.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.checkers.findings import Finding
+
+#: ``ClassName.attr`` pairs with a single-task ownership argument.
+#: Derived from the runtime's actual task structure -- each entry names
+#: the owner and why no interleaving writer exists.
+OWNED_ATTRIBUTES: FrozenSet[str] = frozenset(
+    {
+        # PeerSession: _dial_loop/_serve run as the session's only pump
+        # task; stop() cancels and awaits them *before* touching these,
+        # and adopt() cancels the previous _serve_task the same way, so
+        # at most one task mutates the connection fields at a time.
+        "PeerSession._channel",
+        "PeerSession._serve_task",
+        "PeerSession._dial_task",
+        # Written by the watchdog task, consumed by _serve's loss path
+        # only after the watchdog aborts the channel and exits.
+        "PeerSession._hold_expired",
+        # DeviceHost.start()/stop() run in the cluster supervisor task;
+        # sessions and the server are created before any peer task
+        # exists and torn down after all of them are cancelled.
+        "DeviceHost.server",
+        "DeviceHost.port",
+        "DeviceHost._pump_task",
+        "DeviceHost.telemetry",
+        # FramedChannel: receive() is only ever awaited by the single
+        # pump task (_serve / _await_peer_open), so the reassembly
+        # buffer has exactly one reader; close() runs in the owner's
+        # teardown after that pump task has exited.
+        "FramedChannel._received",
+        "FramedChannel._writer_task",
+        # Operator-task lifecycle pairs: start()/stop() are invoked by
+        # one supervising task (the cluster driver / test harness),
+        # never concurrently with each other.
+        "Collector._scrape_task",
+        "TelemetryServer._server",
+        "RuntimeCluster._started",
+    }
+)
+
+_SYNC_LOCK_HINTS = ("lock", "mutex", "semaphore", "sem", "condition")
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    return None
+
+
+def _is_lockish(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(hint in lowered for hint in _SYNC_LOCK_HINTS)
+
+
+def _self_attr(node: ast.AST) -> Optional[ast.Attribute]:
+    """``self.X`` attribute node, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node
+    return None
+
+
+@dataclass
+class _Event:
+    kind: str  # "read" | "write" | "await"
+    attr: Optional[str]
+    line: int
+    locked: bool
+
+
+class _FlowWalker:
+    """Linearize a coroutine body into evaluation-ordered events."""
+
+    def __init__(self) -> None:
+        self.events: List[_Event] = []
+
+    def _emit(
+        self, kind: str, attr: Optional[str], node: ast.AST, locked: bool
+    ) -> None:
+        self.events.append(
+            _Event(kind, attr, getattr(node, "lineno", 0), locked)
+        )
+
+    # -- statements --------------------------------------------------------
+
+    def walk_body(self, stmts: List[ast.stmt], locked: bool) -> None:
+        for stmt in stmts:
+            self.walk_stmt(stmt, locked)
+
+    def walk_stmt(self, stmt: ast.stmt, locked: bool) -> None:
+        if isinstance(stmt, ast.Assign):
+            self.walk_expr(stmt.value, locked)
+            for target in stmt.targets:
+                self._store(target, locked)
+        elif isinstance(stmt, ast.AugAssign):
+            attr = _self_attr(stmt.target)
+            if attr is not None:
+                self._emit("read", attr.attr, stmt, locked)
+            self.walk_expr(stmt.value, locked)
+            if attr is not None:
+                self._emit("write", attr.attr, stmt, locked)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.walk_expr(stmt.value, locked)
+            self._store(stmt.target, locked)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            if stmt.value is not None:
+                self.walk_expr(stmt.value, locked)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.walk_expr(stmt.test, locked)
+            self.walk_body(stmt.body, locked)
+            self.walk_body(stmt.orelse, locked)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.walk_expr(stmt.iter, locked)
+            if isinstance(stmt, ast.AsyncFor):
+                self._emit("await", None, stmt, locked)
+            self._store(stmt.target, locked)
+            self.walk_body(stmt.body, locked)
+            self.walk_body(stmt.orelse, locked)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = locked
+            for item in stmt.items:
+                self.walk_expr(item.context_expr, locked)
+                if isinstance(stmt, ast.AsyncWith) and _is_lockish(
+                    item.context_expr
+                ):
+                    inner = True
+            if isinstance(stmt, ast.AsyncWith):
+                self._emit("await", None, stmt, locked)
+            self.walk_body(stmt.body, inner)
+        elif isinstance(stmt, ast.Try):
+            self.walk_body(stmt.body, locked)
+            for handler in stmt.handlers:
+                self.walk_body(handler.body, locked)
+            self.walk_body(stmt.orelse, locked)
+            self.walk_body(stmt.finalbody, locked)
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # nested definitions run on their own schedule
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.walk_expr(child, locked)
+                elif isinstance(child, ast.stmt):
+                    self.walk_stmt(child, locked)
+
+    def _store(self, target: ast.expr, locked: bool) -> None:
+        attr = _self_attr(target)
+        if attr is not None:
+            self._emit("write", attr.attr, target, locked)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._store(element, locked)
+
+    # -- expressions -------------------------------------------------------
+
+    def walk_expr(self, node: ast.expr, locked: bool) -> None:
+        if isinstance(node, ast.Await):
+            self.walk_expr(node.value, locked)
+            self._emit("await", None, node, locked)
+            return
+        attr = _self_attr(node)
+        if attr is not None and isinstance(node.ctx, ast.Load):
+            self._emit("read", attr.attr, node, locked)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # body runs when called, not here
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.walk_expr(child, locked)
+
+
+@dataclass
+class _MethodInfo:
+    name: str
+    node: ast.AST
+    is_async: bool
+    events: List[_Event] = field(default_factory=list)
+    touched: Set[str] = field(default_factory=set)
+
+
+def _collect_methods(cls: ast.ClassDef) -> List[_MethodInfo]:
+    methods: List[_MethodInfo] = []
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        info = _MethodInfo(
+            item.name, item, isinstance(item, ast.AsyncFunctionDef)
+        )
+        for node in ast.walk(item):
+            attr = _self_attr(node)
+            if attr is not None:
+                info.touched.add(attr.attr)
+        if info.is_async:
+            walker = _FlowWalker()
+            walker.walk_body(item.body, False)
+            info.events = walker.events
+        methods.append(info)
+    return methods
+
+
+def _check_rmw(
+    display: str,
+    cls: ast.ClassDef,
+    method: _MethodInfo,
+    shared: Set[str],
+    owned: FrozenSet[str],
+) -> List[Finding]:
+    """ASYNC006: read before a suspension, write after it, unlocked."""
+    findings: List[Finding] = []
+    flagged: Set[str] = set()
+    reads: Dict[str, Tuple[int, int]] = {}  # attr -> (index, line)
+    last_await: Optional[int] = None
+    for index, event in enumerate(method.events):
+        if event.kind == "await":
+            last_await = index
+        elif event.kind == "read" and not event.locked:
+            reads.setdefault(event.attr or "", (index, event.line))
+        elif event.kind == "write" and not event.locked:
+            attr = event.attr or ""
+            if attr in flagged or attr not in shared:
+                continue
+            if f"{cls.name}.{attr}" in owned:
+                continue
+            seen = reads.get(attr)
+            if (
+                seen is not None
+                and last_await is not None
+                and seen[0] < last_await
+            ):
+                flagged.add(attr)
+                findings.append(
+                    Finding(
+                        path=display,
+                        line=event.line,
+                        col=1,
+                        rule="ASYNC006",
+                        message=(
+                            f"{cls.name}.{method.name} reads self.{attr} "
+                            f"(line {seen[1]}) and writes it back after an "
+                            "await: another task can interleave between "
+                            "read and write"
+                        ),
+                        hint=(
+                            "hold an asyncio.Lock across the read-modify-"
+                            "write, or record the ownership argument in "
+                            "raceflow.OWNED_ATTRIBUTES"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _check_multi_writer(
+    display: str,
+    cls: ast.ClassDef,
+    methods: List[_MethodInfo],
+    owned: FrozenSet[str],
+) -> List[Finding]:
+    """ASYNC007: the same attribute written by several coroutines."""
+    findings: List[Finding] = []
+    writers: Dict[str, List[Tuple[str, int]]] = {}
+    for method in methods:
+        if not method.is_async:
+            continue
+        seen: Set[str] = set()
+        for event in method.events:
+            if event.kind == "write" and not event.locked:
+                attr = event.attr or ""
+                if attr not in seen:
+                    seen.add(attr)
+                    writers.setdefault(attr, []).append(
+                        (method.name, event.line)
+                    )
+    for attr, sites in sorted(writers.items()):
+        if len(sites) < 2 or f"{cls.name}.{attr}" in owned:
+            continue
+        names = ", ".join(name for name, _ in sites)
+        findings.append(
+            Finding(
+                path=display,
+                line=sites[1][1],
+                col=1,
+                rule="ASYNC007",
+                message=(
+                    f"self.{attr} is written without a lock by "
+                    f"{len(sites)} coroutines of {cls.name} ({names}): "
+                    "concurrent writers race"
+                ),
+                hint=(
+                    "serialize the writers with a lock, or if one task "
+                    "provably owns the attribute add "
+                    f"'{cls.name}.{attr}' to raceflow.OWNED_ATTRIBUTES"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_stale_guard(
+    display: str,
+    cls: ast.ClassDef,
+    method: _MethodInfo,
+    owned: FrozenSet[str],
+) -> List[Finding]:
+    """ASYNC008: guard on self.X, suspension, then self.X reread."""
+    findings: List[Finding] = []
+    flagged: Set[str] = set()
+    for node in ast.walk(method.node):
+        if not isinstance(node, ast.If):
+            continue
+        guard_attrs = {
+            attr.attr
+            for test_node in ast.walk(node.test)
+            for attr in [_self_attr(test_node)]
+            if attr is not None and isinstance(test_node.ctx, ast.Load)
+        }
+        guard_attrs -= flagged
+        guard_attrs = {
+            attr
+            for attr in guard_attrs
+            if f"{cls.name}.{attr}" not in owned
+        }
+        if not guard_attrs:
+            continue
+        walker = _FlowWalker()
+        walker.walk_body(node.body, False)
+        suspended = False
+        for event in walker.events:
+            if event.kind == "await" and not event.locked:
+                suspended = True
+            elif (
+                suspended
+                and event.kind == "read"
+                and not event.locked
+                and event.attr in guard_attrs
+            ):
+                flagged.add(event.attr or "")
+                guard_attrs.discard(event.attr or "")
+                findings.append(
+                    Finding(
+                        path=display,
+                        line=event.line,
+                        col=1,
+                        rule="ASYNC008",
+                        message=(
+                            f"{cls.name}.{method.name} guards on "
+                            f"self.{event.attr} (line {node.lineno}) but "
+                            "rereads it after an await: the guard can be "
+                            "stale by then"
+                        ),
+                        hint=(
+                            "re-check the condition after the await, or "
+                            "snapshot the attribute into a local before "
+                            "suspending"
+                        ),
+                    )
+                )
+    return findings
+
+
+def check_raceflow(
+    tree: ast.Module,
+    display: str,
+    *,
+    owned: FrozenSet[str] = OWNED_ATTRIBUTES,
+) -> List[Finding]:
+    """Run ASYNC006-ASYNC008 over one parsed module."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = _collect_methods(node)
+        if not any(method.is_async for method in methods):
+            continue
+        for method in methods:
+            if not method.is_async:
+                continue
+            shared = {
+                attr
+                for attr in method.touched
+                for other in methods
+                if other is not method and attr in other.touched
+            }
+            findings.extend(
+                _check_rmw(display, node, method, shared, owned)
+            )
+            findings.extend(
+                _check_stale_guard(display, node, method, owned)
+            )
+        findings.extend(_check_multi_writer(display, node, methods, owned))
+    return findings
+
+
+def lint_raceflow(path: Path, display: str) -> List[Finding]:
+    """Parse ``path`` and run the raceflow rules (standalone helper)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=display)
+    return check_raceflow(tree, display)

@@ -1,0 +1,165 @@
+"""Tier-2 semantic verification: ``python -m repro verify-static``.
+
+Tier 1 (``repro lint``) is syntactic and per-file; this tier reasons
+about *behavior*:
+
+* :mod:`repro.checkers.fsm` extracts the session FSM actually
+  implemented by ``runtime/connection.py`` and diffs it against the
+  declared ``SESSION_TRANSITIONS`` table (FSM003/FSM004);
+* :mod:`repro.checkers.modelcheck` exhaustively explores the
+  two-peer-session product of the declared table for deadlocks and
+  dead states (FSM001/FSM002);
+* :mod:`repro.checkers.raceflow` runs flow-sensitive cross-``await``
+  race detection over every coroutine in the scanned tree
+  (ASYNC006-ASYNC008).
+
+The report mirrors :class:`~repro.checkers.engine.LintReport` --
+including the never-silent suppression budget -- plus the model
+checker's exploration counts, which the CLI prints so a fixpoint run
+is visible evidence, not a silent pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.checkers.engine import (
+    _display_path,
+    find_project_root,
+    iter_python_files,
+)
+from repro.checkers.findings import (
+    DirectiveError,
+    Finding,
+    parse_suppressions,
+    split_suppressed,
+)
+from repro.checkers.fsm import CONNECTION_PATH, extract_session_fsm
+from repro.checkers.fsm import check_fsm_tables
+from repro.checkers.modelcheck import check_model
+from repro.checkers.raceflow import check_raceflow
+
+#: Rule id -> one-line description (tier-2 catalog; tier 1 lives in
+#: :data:`repro.checkers.engine.RULES`).
+VERIFY_RULES: Dict[str, str] = {
+    "FSM001": "reachable deadlock in the two-session product space",
+    "FSM002": "declared session state unreachable from the initial state",
+    "FSM003": "DVM frame kind and ESTABLISHED handler events diverge",
+    "FSM004": "declared transition table diverges from _set_state sites",
+    "ASYNC006": "cross-await read-modify-write of a shared attribute",
+    "ASYNC007": "attribute written by several coroutines without a lock",
+    "ASYNC008": "guard condition re-read stale after an await",
+}
+
+
+@dataclass
+class VerifyReport:
+    """Everything one ``run_verify_static`` invocation produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    files_scanned: int = 0
+    elapsed_seconds: float = 0.0
+    #: Model-checker evidence (zero until the FSM prong runs).
+    fsm_checked: bool = False
+    states_explored: int = 0
+    transitions_explored: int = 0
+    established_reachable: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def counts(self) -> "Counter[str]":
+        return Counter(finding.rule for finding in self.findings)
+
+    def suppressed_counts(self) -> "Counter[str]":
+        return Counter(finding.rule for finding in self.suppressed)
+
+    def stats_rows(self) -> List[Dict[str, object]]:
+        active = self.counts()
+        budget = self.suppressed_counts()
+        return [
+            {
+                "rule": rule,
+                "description": VERIFY_RULES[rule],
+                "findings": active.get(rule, 0),
+                "suppressed": budget.get(rule, 0),
+            }
+            for rule in sorted(VERIFY_RULES)
+        ]
+
+
+def _split_with_source(
+    report: VerifyReport,
+    findings: List[Finding],
+    source: str,
+    display: str,
+) -> None:
+    """File-level suppression pass; directive errors never mask findings."""
+    try:
+        suppressions = parse_suppressions(source, display)
+    except DirectiveError as exc:
+        report.errors.append(str(exc))
+        suppressions = {}
+    active, suppressed = split_suppressed(sorted(findings), suppressions)
+    report.findings.extend(active)
+    report.suppressed.extend(suppressed)
+
+
+def run_verify_static(
+    paths: Iterable[Path],
+    *,
+    project_root: Optional[Path] = None,
+) -> VerifyReport:
+    """Run the tier-2 analyzers over ``paths``."""
+    started = time.perf_counter()
+    report = VerifyReport()
+    targets = [Path(p) for p in paths]
+    root = project_root or find_project_root(targets)
+
+    for path in iter_python_files(targets):
+        display = _display_path(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = ast.parse(source, filename=display)
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.errors.append(f"{display}: cannot analyze: {exc}")
+            continue
+        report.files_scanned += 1
+        _split_with_source(
+            report, check_raceflow(module, display), source, display
+        )
+
+    if root is not None:
+        fsm = extract_session_fsm(root)
+        if fsm is not None:
+            report.fsm_checked = True
+            fsm_findings = check_fsm_tables(fsm)
+            model_findings, result = check_model(fsm)
+            report.states_explored = result.states_explored
+            report.transitions_explored = result.transitions_explored
+            report.established_reachable = result.established_reachable
+            try:
+                connection_source = (root / CONNECTION_PATH).read_text(
+                    encoding="utf-8"
+                )
+            except OSError:
+                connection_source = ""
+            _split_with_source(
+                report,
+                fsm_findings + model_findings,
+                connection_source,
+                str(CONNECTION_PATH),
+            )
+
+    report.findings.sort()
+    report.suppressed.sort()
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -22,6 +22,10 @@ Commands:
 * ``lint``      -- run the repro-lint static analyzers (async-safety,
   DVM wire-protocol consistency, hygiene) over the codebase; see
   :mod:`repro.checkers` and ``docs/STATIC_ANALYSIS.md``.
+* ``verify-static`` -- tier-2 semantic verification: model-check the
+  session FSM (two-peer product space, deadlock/reachability/frame
+  coverage) and run flow-sensitive cross-``await`` race detection;
+  see ``docs/STATIC_ANALYSIS.md``.
 
 Examples::
 
@@ -494,14 +498,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "scrape bytes": scrape["metrics_bytes"],
             }
         )
+    document["analyzer"] = analyzer = _analyzer_stats()
     text = render_json(document, args.out)
     if args.json:
         print(text, end="")
     else:
         print_table("bench summary", rows)
+        if analyzer:
+            lint_stats = analyzer["lint"]
+            verify_stats = analyzer["verify_static"]
+            print(
+                "analyzer: lint "
+                f"{lint_stats['elapsed_seconds'] * 1e3:.1f} ms over "
+                f"{lint_stats['files_scanned']} file(s) "
+                f"({lint_stats['cache_hits']} cache hits, "
+                f"{lint_stats['suppressed']} suppressed); verify-static "
+                f"{verify_stats['elapsed_seconds'] * 1e3:.1f} ms, "
+                f"{verify_stats['states_explored']} product states"
+            )
         if args.out:
             print(f"wrote {args.out}")
     return 0
+
+
+def _analyzer_stats() -> dict:
+    """Static-analyzer cost + suppression budget for BENCH_summary.json.
+
+    Tracked across PRs like any benchmark number: per-rule finding and
+    suppression counts (creep detection), wall time, and cache
+    effectiveness for tier 1, plus the model checker's explored state
+    space for tier 2.  Empty when not run from the repo root.
+    """
+    from pathlib import Path
+
+    from repro.checkers.engine import run_lint
+    from repro.checkers.verifystatic import run_verify_static
+
+    target = Path("src")
+    if not target.is_dir():
+        return {}
+    lint = run_lint([target])
+    verify = run_verify_static([target])
+    return {
+        "lint": {
+            "files_scanned": lint.files_scanned,
+            "elapsed_seconds": lint.elapsed_seconds,
+            "cache_hits": lint.cache_hits,
+            "findings": len(lint.findings),
+            "suppressed": len(lint.suppressed),
+            "rules": lint.stats_rows(),
+        },
+        "verify_static": {
+            "files_scanned": verify.files_scanned,
+            "elapsed_seconds": verify.elapsed_seconds,
+            "findings": len(verify.findings),
+            "suppressed": len(verify.suppressed),
+            "states_explored": verify.states_explored,
+            "transitions_explored": verify.transitions_explored,
+            "established_reachable": verify.established_reachable,
+            "rules": verify.stats_rows(),
+        },
+    }
 
 
 def _scrape_overhead(registry, samples: int = 5) -> dict:
@@ -639,6 +696,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.checkers.cli import cmd_lint
 
     return cmd_lint(args)
+
+
+def _cmd_verify_static(args: argparse.Namespace) -> int:
+    from repro.checkers.cli import cmd_verify_static
+
+    return cmd_verify_static(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -885,8 +948,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the repro-lint static analyzers (exit 1 on findings)",
     )
     from repro.checkers.cli import configure_parser as _configure_lint
+    from repro.checkers.cli import (
+        configure_verify_parser as _configure_verify,
+    )
 
     _configure_lint(lint)
+
+    verify_static = commands.add_parser(
+        "verify-static",
+        help="model-check the session FSM and detect cross-await races",
+    )
+    _configure_verify(verify_static)
     return parser
 
 
@@ -901,6 +973,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "top": _cmd_top,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "verify-static": _cmd_verify_static,
     }
     return handlers[args.command](args)
 

@@ -50,6 +50,22 @@ TYPE_UPDATE = 3
 TYPE_SUBSCRIBE = 4
 TYPE_LINKSTATE = 5
 
+#: Frame-handler metadata: the session-FSM event each wire frame kind
+#: raises when it arrives on an ESTABLISHED session.  The declarative
+#: session FSM (``repro.runtime.connection.SESSION_TRANSITIONS``) must
+#: declare a handler transition for every event named here -- rule
+#: FSM003 (``repro.checkers.fsm``) statically cross-checks the two
+#: tables, so adding a TYPE_* constant without deciding how a live
+#: session absorbs it is a ``verify-static`` failure, not a runtime
+#: surprise on a peer.
+FRAME_EVENTS: Dict[str, str] = {
+    "TYPE_OPEN": "rx_open",
+    "TYPE_KEEPALIVE": "rx_keepalive",
+    "TYPE_UPDATE": "rx_update",
+    "TYPE_SUBSCRIBE": "rx_subscribe",
+    "TYPE_LINKSTATE": "rx_linkstate",
+}
+
 #: Plan id scoping session-level control frames (the handshake OPEN and
 #: KEEPALIVE heartbeats).  Counting traffic always carries a real plan
 #: id, so the empty string cleanly separates the two frame kinds in the

@@ -28,7 +28,7 @@ import asyncio
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.dvm.messages import (
     Message,
@@ -46,6 +46,76 @@ from repro.runtime.transport import (
 )
 
 logger = get_logger("runtime.connection")
+
+
+# ---------------------------------------------------------------------------
+# Declarative session FSM
+#
+# The PeerSession lifecycle below is *checked*, not just documented:
+# ``repro.checkers.fsm`` statically extracts the transitions the
+# coroutine methods actually implement (every ``self._set_state(event,
+# STATE)`` call site) and diffs them against this table (rule FSM004),
+# and ``repro.checkers.modelcheck`` exhaustively explores the product
+# of two peer sessions over this table for deadlocks, unreachable
+# states, and DVM frame kinds without a handler event (FSM001-FSM003).
+# Editing the lifecycle means editing the table and the code together
+# -- ``python -m repro verify-static`` fails on any divergence.
+
+#: Session lifecycle states.
+ST_CLOSED = "CLOSED"  # no connection; passive side idles here awaiting adoption
+ST_DIALING = "DIALING"  # active side attempting TCP connect (with backoff)
+ST_OPEN_SENT = "OPEN_SENT"  # connection up, our OPEN sent, peer's OPEN awaited
+ST_ESTABLISHED = "ESTABLISHED"  # both OPENs exchanged; counting traffic flows
+ST_RECONNECTING = "RECONNECTING"  # session lost; loss handling ran, repair pending
+ST_DRAINING = "DRAINING"  # stop() tearing tasks and the channel down
+
+SESSION_STATES = (
+    ST_CLOSED,
+    ST_DIALING,
+    ST_OPEN_SENT,
+    ST_ESTABLISHED,
+    ST_RECONNECTING,
+    ST_DRAINING,
+)
+
+#: ``(state, event) -> next state``.  Events are the protocol-visible
+#: stimuli; ``rx_*`` events are derived from the DVM frame kinds
+#: (:data:`repro.dvm.messages.FRAME_EVENTS`).  Self-loop edges document
+#: stimuli absorbed without a state change (no ``_set_state`` call is
+#: required for them -- see FSM004 in ``docs/STATIC_ANALYSIS.md``).
+SESSION_TRANSITIONS: Dict[Tuple[str, str], str] = {
+    # establishment -- active (dialing) side
+    (ST_CLOSED, "start"): ST_DIALING,
+    (ST_DIALING, "connect_fail"): ST_DIALING,  # backoff retry
+    (ST_DIALING, "connect_ok"): ST_OPEN_SENT,
+    # establishment -- passive side (adopts an accepted connection
+    # whose OPEN named us; its own OPEN is sent during adoption)
+    (ST_CLOSED, "adopt"): ST_OPEN_SENT,
+    # handshake completion / failure
+    (ST_OPEN_SENT, "peer_open"): ST_ESTABLISHED,
+    (ST_OPEN_SENT, "open_timeout"): ST_RECONNECTING,
+    # established: every DVM frame kind must have a handler event here
+    # (rule FSM003); all are absorbed without leaving the state
+    (ST_ESTABLISHED, "rx_open"): ST_ESTABLISHED,  # plan refresh / dup OPEN
+    (ST_ESTABLISHED, "rx_keepalive"): ST_ESTABLISHED,
+    (ST_ESTABLISHED, "rx_update"): ST_ESTABLISHED,
+    (ST_ESTABLISHED, "rx_subscribe"): ST_ESTABLISHED,
+    (ST_ESTABLISHED, "rx_linkstate"): ST_ESTABLISHED,
+    # loss: EOF / reset / decode garbage, or the keepalive watchdog
+    (ST_ESTABLISHED, "conn_lost"): ST_RECONNECTING,
+    (ST_ESTABLISHED, "hold_expired"): ST_RECONNECTING,
+    # repair: the dialing side redials; the passive side waits to be
+    # re-adopted when the peer's redial lands
+    (ST_RECONNECTING, "redial"): ST_DIALING,
+    (ST_RECONNECTING, "adopt"): ST_OPEN_SENT,
+    # administrative shutdown (excluded from liveness exploration)
+    (ST_CLOSED, "stop"): ST_DRAINING,
+    (ST_DIALING, "stop"): ST_DRAINING,
+    (ST_OPEN_SENT, "stop"): ST_DRAINING,
+    (ST_ESTABLISHED, "stop"): ST_DRAINING,
+    (ST_RECONNECTING, "stop"): ST_DRAINING,
+    (ST_DRAINING, "drained"): ST_CLOSED,
+}
 
 
 @dataclass(frozen=True)
@@ -110,24 +180,38 @@ class PeerSession:
         self.backoff = backoff or BackoffPolicy()
         self.rng = rng or random.Random()
         self.established = asyncio.Event()
+        self.state = ST_CLOSED
         self._channel: Optional[FramedChannel] = None
         self._serve_task: Optional["asyncio.Task[None]"] = None
         self._dial_task: Optional["asyncio.Task[None]"] = None
         self._stopped = False
         self._suspend_until = 0.0
         self._ever_established = False
+        self._hold_expired = False
 
     # -- lifecycle ---------------------------------------------------------
+
+    def _set_state(self, event: str, state: str) -> None:
+        """Record one declared FSM transition (see SESSION_TRANSITIONS).
+
+        Call sites are statically extracted by ``repro.checkers.fsm``
+        and diffed against the declarative table -- always pass the
+        event name literally and the state as one of the ``ST_*``
+        constants.
+        """
+        self.state = state
 
     def start(self) -> None:
         """Begin dialing (active side).  Passive sessions wait to adopt."""
         if self.active:
+            self._set_state("start", ST_DIALING)
             self._dial_task = asyncio.get_running_loop().create_task(
                 self._dial_loop()
             )
 
     async def stop(self) -> None:
         self._stopped = True
+        self._set_state("stop", ST_DRAINING)
         for task in (self._dial_task, self._serve_task):
             if task is not None:
                 task.cancel()
@@ -143,6 +227,7 @@ class PeerSession:
             await self._channel.close()
             self._channel = None
         self.established.clear()
+        self._set_state("drained", ST_CLOSED)
 
     @property
     def is_established(self) -> bool:
@@ -210,9 +295,11 @@ class PeerSession:
                 try:
                     reader, writer = await asyncio.open_connection(host, port)
                 except (ConnectionError, OSError):
+                    self._set_state("connect_fail", ST_DIALING)
                     await asyncio.sleep(self.backoff.delay(attempt, self.rng))
                     attempt += 1
                     continue
+                self._set_state("connect_ok", ST_OPEN_SENT)
                 channel = FramedChannel(
                     reader, writer, self.factory, self.metrics
                 )
@@ -221,12 +308,15 @@ class PeerSession:
                     OpenMessage(plan_id=SESSION_PLAN, device=self.device)
                 )
                 if not await self._await_peer_open(channel):
+                    self._set_state("open_timeout", ST_RECONNECTING)
                     await channel.close()
                     await asyncio.sleep(self.backoff.delay(attempt, self.rng))
                     attempt += 1
+                    self._set_state("redial", ST_DIALING)
                     continue
                 attempt = 0
                 await self._serve(channel)
+                self._set_state("redial", ST_DIALING)
         except asyncio.CancelledError:
             raise
 
@@ -259,6 +349,7 @@ class PeerSession:
             except asyncio.CancelledError:
                 pass
             self._serve_task = None
+        self._set_state("adopt", ST_OPEN_SENT)
         channel.send(OpenMessage(plan_id=SESSION_PLAN, device=self.device))
         self._serve_task = asyncio.get_running_loop().create_task(
             self._serve(channel)
@@ -270,6 +361,8 @@ class PeerSession:
         """Pump frames until the connection dies; fire loss handling."""
         self._channel = channel
         channel.last_rx = time.monotonic()
+        self._hold_expired = False
+        self._set_state("peer_open", ST_ESTABLISHED)
         reconnect = self._ever_established
         if reconnect:
             self.metrics.reconnects += 1
@@ -319,6 +412,10 @@ class PeerSession:
                 self._channel = None
             await channel.close()
             if not self._stopped:
+                if self._hold_expired:
+                    self._set_state("hold_expired", ST_RECONNECTING)
+                else:
+                    self._set_state("conn_lost", ST_RECONNECTING)
                 self.metrics.peer_down_events += 1
                 if self.tracer.enabled:
                     self.tracer.event(
@@ -352,6 +449,7 @@ class PeerSession:
             while True:
                 await asyncio.sleep(self.keepalive_interval)
                 if time.monotonic() - channel.last_rx > self.hold_time:
+                    self._hold_expired = True
                     channel.abort()  # receive() unblocks with None
                     return
         except asyncio.CancelledError:

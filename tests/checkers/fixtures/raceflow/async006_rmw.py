@@ -1,0 +1,34 @@
+"""Fixture: cross-await read-modify-write (ASYNC006 on line 14)."""
+
+import asyncio
+
+
+class Tally:
+    def __init__(self):
+        self.total = 0
+        self.lock = asyncio.Lock()
+
+    async def bump(self, source):
+        value = self.total
+        await source.read()
+        self.total = value + 1  # lost update: total is stale here
+
+    async def report(self):
+        return self.total
+
+
+class LockedTally:
+    """Same shape, correctly serialized -- must stay clean."""
+
+    def __init__(self):
+        self.total = 0
+        self.lock = asyncio.Lock()
+
+    async def bump(self, source):
+        async with self.lock:
+            value = self.total
+            await source.read()
+            self.total = value + 1
+
+    async def report(self):
+        return self.total

@@ -1,0 +1,16 @@
+"""Fixture: one attribute, several unlocked coroutine writers
+(ASYNC007 on the second writer)."""
+
+import asyncio
+
+
+class Pool:
+    def __init__(self):
+        self.conn = None
+
+    async def open(self, dialer):
+        self.conn = await dialer.dial()
+
+    async def reset(self):
+        await asyncio.sleep(0)
+        self.conn = None  # races open(): last writer wins

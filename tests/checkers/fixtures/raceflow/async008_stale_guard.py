@@ -1,0 +1,17 @@
+"""Fixture: guard checked, suspension, guarded attribute reread
+(ASYNC008 at the reread)."""
+
+import asyncio
+
+
+class Courier:
+    def __init__(self):
+        self.channel = None
+
+    async def push(self, message):
+        if self.channel is not None:
+            await asyncio.sleep(0)
+            self.channel.send(message)  # channel may be None by now
+
+    async def close(self):
+        self.channel = None

@@ -1,0 +1,103 @@
+"""Flow-sensitive race rules (ASYNC006-ASYNC008) on the raceflow
+fixtures, the lock/ownership escape hatches, and the shipped tree."""
+
+import ast
+from pathlib import Path
+
+from repro.checkers import check_raceflow
+from repro.checkers.raceflow import OWNED_ATTRIBUTES, lint_raceflow
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures" / "raceflow"
+
+
+def _findings(name, **kwargs):
+    path = FIXTURES / name
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=name)
+    return check_raceflow(tree, name, **kwargs)
+
+
+def test_async006_cross_await_rmw():
+    findings = _findings("async006_rmw.py")
+    assert [f.rule for f in findings] == ["ASYNC006"]
+    finding = findings[0]
+    assert finding.line == 14
+    assert "Tally.bump" in finding.message
+    assert "self.total" in finding.message
+    # The read side of the RMW is named so the window is visible.
+    assert "line 12" in finding.message
+
+
+def test_async006_respects_async_lock():
+    # LockedTally in the same fixture wraps the RMW in `async with
+    # self.lock`; only the unlocked class may fire.
+    findings = _findings("async006_rmw.py")
+    assert all("LockedTally" not in f.message for f in findings)
+
+
+def test_async006_ownership_allowlist():
+    findings = _findings(
+        "async006_rmw.py", owned=frozenset({"Tally.total"})
+    )
+    assert findings == []
+
+
+def test_async007_multiple_coroutine_writers():
+    findings = _findings("async007_multiwriter.py")
+    assert [f.rule for f in findings] == ["ASYNC007"]
+    finding = findings[0]
+    assert "self.conn" in finding.message
+    assert "open" in finding.message and "reset" in finding.message
+    assert "Pool" in finding.message
+    assert "OWNED_ATTRIBUTES" in finding.hint
+
+
+def test_async008_stale_guard_reread():
+    findings = _findings("async008_stale_guard.py")
+    assert [f.rule for f in findings] == ["ASYNC008"]
+    finding = findings[0]
+    assert finding.line == 14
+    assert "Courier.push" in finding.message
+    assert "self.channel" in finding.message
+
+
+def test_lint_raceflow_helper_reads_from_disk():
+    findings = lint_raceflow(
+        FIXTURES / "async006_rmw.py", "async006_rmw.py"
+    )
+    assert [f.rule for f in findings] == ["ASYNC006"]
+
+
+def test_shipped_runtime_is_race_clean():
+    # The allowlist documents the runtime's single-task ownership; with
+    # it, the shipped tree must produce zero findings (any new cross-
+    # await mutation pattern must be justified here or fixed).
+    findings = []
+    for path in sorted((ROOT / "src").rglob("*.py")):
+        findings.extend(lint_raceflow(path, str(path)))
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"raceflow findings:\n{rendered}"
+
+
+def test_allowlist_entries_still_exist():
+    # An OWNED_ATTRIBUTES entry whose class or attribute vanished is a
+    # stale ownership claim -- fail so it gets pruned.
+    classes = {}
+    for path in sorted((ROOT / "src").rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                attrs = classes.setdefault(node.name, set())
+                for inner in ast.walk(node):
+                    if (
+                        isinstance(inner, ast.Attribute)
+                        and isinstance(inner.value, ast.Name)
+                        and inner.value.id == "self"
+                    ):
+                        attrs.add(inner.attr)
+    for entry in sorted(OWNED_ATTRIBUTES):
+        class_name, attr = entry.split(".", 1)
+        assert class_name in classes, f"stale allowlist class: {entry}"
+        assert attr in classes[class_name], (
+            f"stale allowlist attribute: {entry}"
+        )

@@ -1,0 +1,116 @@
+"""``python -m repro verify-static``: report, exit codes, rendering,
+and the suppression budget for the tier-2 rules."""
+
+import textwrap
+from pathlib import Path
+
+from repro.checkers import VERIFY_RULES, run_verify_static
+from repro.cli import main as repro_main
+
+ROOT = Path(__file__).resolve().parents[2]
+
+RACY = textwrap.dedent(
+    """
+    import asyncio
+
+    class Tally:
+        def __init__(self):
+            self.total = 0
+
+        async def bump(self, source):
+            value = self.total
+            await source.read()
+            self.total = value + 1
+
+        async def report(self):
+            return self.total
+    """
+)
+
+
+def test_shipped_tree_is_verify_clean():
+    report = run_verify_static([ROOT / "src"])
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.findings == [], f"verify-static findings:\n{rendered}"
+    assert report.errors == []
+    assert report.suppressed == []  # zero tier-2 suppression budget
+    assert report.fsm_checked
+    assert report.states_explored > 0
+    assert report.transitions_explored > 0
+    assert report.established_reachable
+    assert report.files_scanned > 50
+
+
+def test_cli_clean_run_prints_fixpoint_evidence(capsys):
+    assert repro_main(["verify-static", str(ROOT / "src")]) == 0
+    out = capsys.readouterr().out
+    assert "model: explored" in out
+    assert "product state" in out
+    assert "to fixpoint" in out
+    assert "ESTABLISHED/ESTABLISHED reachable" in out
+    assert "verify-static clean" in out
+
+
+def test_cli_stats_lists_every_tier2_rule(capsys):
+    assert (
+        repro_main(["verify-static", str(ROOT / "src"), "--stats"]) == 0
+    )
+    out = capsys.readouterr().out
+    for rule in VERIFY_RULES:
+        assert rule in out
+    assert "analyzed" in out
+
+
+def test_cli_seeded_race_exits_one(tmp_path, capsys):
+    (tmp_path / "racy.py").write_text(RACY)
+    assert repro_main(["verify-static", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "ASYNC006" in out
+    assert "Tally.bump" in out
+    assert "hint:" in out
+
+
+def test_cli_github_annotations(tmp_path, capsys):
+    (tmp_path / "racy.py").write_text(RACY)
+    assert repro_main(["verify-static", "--github", str(tmp_path)]) == 1
+    lines = capsys.readouterr().out.splitlines()
+    annotations = [l for l in lines if l.startswith("::error ")]
+    assert len(annotations) == 1
+    assert "title=ASYNC006" in annotations[0]
+
+
+def test_cli_missing_path_exits_two(capsys):
+    assert repro_main(["verify-static", str(ROOT / "no_such_dir")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_suppression_counted_never_silent(tmp_path, capsys):
+    source = RACY.replace(
+        "self.total = value + 1",
+        "self.total = value + 1  # repro-lint: disable=ASYNC006",
+    )
+    (tmp_path / "racy.py").write_text(source)
+    report = run_verify_static([tmp_path])
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["ASYNC006"]
+    assert repro_main(["verify-static", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "suppression budget: 1 finding(s)" in out
+    assert "ASYNC006 x1" in out
+
+
+def test_bad_directive_reported_alongside_findings(tmp_path):
+    source = "# repro-lint: enable=ASYNC006\n" + RACY
+    (tmp_path / "racy.py").write_text(source)
+    report = run_verify_static([tmp_path])
+    assert [f.rule for f in report.findings] == ["ASYNC006"]
+    assert len(report.errors) == 1
+    assert "unknown repro-lint directive" in report.errors[0]
+
+
+def test_foreign_tree_skips_fsm_prong(tmp_path):
+    (tmp_path / "mod.py").write_text("X = 1\n")
+    report = run_verify_static([tmp_path])
+    assert not report.fsm_checked
+    assert report.states_explored == 0
+    assert report.clean

@@ -192,5 +192,20 @@ class TestBenchCommand:
         assert entry["incremental_count"] == 3
         assert entry["messages_total"] > 0
         assert entry["scrape_overhead"]["metrics_bytes"] > 0
+        # Analyzer cost + suppression creep ride along in the summary.
+        analyzer = document["analyzer"]
+        assert analyzer["lint"]["files_scanned"] > 50
+        assert analyzer["lint"]["findings"] == 0
+        assert analyzer["lint"]["suppressed"] == 0
+        assert analyzer["lint"]["elapsed_seconds"] > 0
+        assert analyzer["lint"]["cache_hits"] >= 0
+        assert {row["rule"] for row in analyzer["lint"]["rules"]} >= {
+            "ASYNC001",
+            "PROTO001",
+        }
+        verify = analyzer["verify_static"]
+        assert verify["states_explored"] > 0
+        assert verify["established_reachable"] is True
+        assert verify["findings"] == 0
         # --json mirrors the document to stdout.
         assert json.loads(capsys.readouterr().out) == document
