@@ -74,6 +74,10 @@ OWNED_ATTRIBUTES: FrozenSet[str] = frozenset(
         "Collector._scrape_task",
         "TelemetryServer._server",
         "RuntimeCluster._started",
+        # ControlServer: start()/stop() both run in the fleet worker's
+        # single run() task (start before the cluster boots, stop in
+        # its finally), so the listener handle has one owner.
+        "ControlServer._server",
     }
 )
 

@@ -17,8 +17,14 @@ Commands:
   of a running fleet (testbed agents or a ``serve_registry`` export)
   and render a refreshing per-device table (``--once --json`` for
   scripting).
+* ``fleet``     -- launch a sharded multi-process fleet (one worker
+  process per shard of device agents, wired over real localhost TCP),
+  run the fleet workload to convergence, optionally diff the verdicts
+  against the simulator backend, and scrape the whole fleet's
+  telemetry; see ``docs/RUNTIME.md`` ("Fleet mode").
 * ``bench``     -- run the burst + incremental benchmark over datasets
-  and write ``BENCH_summary.json`` (timings, traffic, scrape overhead).
+  and write ``BENCH_summary.json`` (timings, traffic, scrape overhead,
+  and the fattree scale sweep: devices vs. diameter vs. convergence).
 * ``lint``      -- run the repro-lint static analyzers (async-safety,
   DVM wire-protocol consistency, hygiene) over the codebase; see
   :mod:`repro.checkers` and ``docs/STATIC_ANALYSIS.md``.
@@ -39,6 +45,8 @@ Examples::
         --invariant "(*, [S], (exist >= 1, S.*D))"
     python -m repro testbed --dataset inet2 --json --out results.json
     python -m repro testbed --http-base-port 9600 --linger 600
+    python -m repro fleet --topology ft4 --workers 2 --check-simulator
+    python -m repro fleet --topology ft16h8 --workers 16 --json
     python -m repro top 127.0.0.1:9600 127.0.0.1:9601 --once --json
     python -m repro bench --json
     python -m repro trace --dataset inet2 --backend simulator --out trace-out
@@ -319,6 +327,174 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Launch a sharded multi-process fleet and run it to convergence."""
+    import asyncio
+
+    from repro.bench.reporting import print_table, render_json
+    from repro.fleet.launcher import FleetError, FleetLauncher
+    from repro.fleet.spec import FleetSpec
+    from repro.obs.collector import Collector
+
+    spec = FleetSpec(
+        topology=args.topology,
+        workers=args.workers,
+        base_port=args.base_port,
+        destinations=args.destinations,
+        ingresses=args.ingresses,
+        seed=args.seed,
+        keepalive_interval=args.keepalive,
+        op_timeout=args.timeout,
+        handshake_timeout=args.handshake_timeout,
+    )
+
+    def say(text: str) -> None:
+        # --json keeps stdout a single machine-readable document.
+        if not args.json:
+            print(text)
+
+    async def drive() -> dict:
+        launcher = FleetLauncher(spec)
+        plan = launcher.plan
+        say(
+            f"fleet: {spec.topology} -> "
+            f"{launcher.topology.num_devices} device agents over "
+            f"{spec.workers} worker process(es), base port "
+            f"{spec.base_port} (logs: {launcher.run_dir})"
+        )
+        document: dict = {
+            "command": "fleet",
+            "topology": spec.topology,
+            "devices": launcher.topology.num_devices,
+            "links": launcher.topology.num_links,
+            "diameter": launcher.topology.diameter_hops(),
+            "workers": spec.workers,
+            "shard_sizes": [len(shard) for shard in plan.shards],
+            "colocated_link_fraction": plan.colocated_link_fraction(
+                launcher.topology
+            ),
+            "base_port": spec.base_port,
+            "run_dir": launcher.run_dir,
+        }
+        try:
+            # start() inside the try: a crash during boot must still
+            # tear the surviving workers down in the finally below.
+            await launcher.start(ready_timeout=args.ready_timeout)
+            say(
+                "workers ready; installing "
+                f"{spec.destinations or 'all'} destination plan(s) ..."
+            )
+            install_seconds = await launcher.install_plans()
+            document["install_seconds"] = install_seconds
+            say(f"  fleet converged in {install_seconds * 1e3:.1f} ms")
+            update_seconds = []
+            for index in range(args.updates):
+                seconds = await launcher.apply_update(index, args.updates)
+                update_seconds.append(seconds)
+                say(
+                    f"  update {index + 1}/{args.updates}: "
+                    f"{seconds * 1e3:.1f} ms"
+                )
+            document["update_seconds"] = update_seconds
+            verdicts = await launcher.verdicts()
+            holds = launcher.holds(verdicts)
+            document["holds"] = holds
+            say(
+                f"verdicts: {sum(holds.values())}/{len(holds)} "
+                "invariant(s) hold"
+            )
+            if args.check_simulator:
+                document["verdicts_match"] = _fleet_simulator_parity(
+                    spec, verdicts, args.updates, say
+                )
+            document["metrics"] = await launcher.metrics()
+            collector = Collector(
+                launcher.telemetry_targets(), timeout=args.timeout
+            )
+            snapshot = await collector.scrape_once()
+            document["fleet_state"] = snapshot.state
+            document["scraped_devices"] = len(snapshot.samples)
+            say(
+                f"telemetry: {snapshot.state} "
+                f"({len(snapshot.samples)} agents scraped); ports "
+                f"{min(plan.http_ports.values())}-"
+                f"{max(plan.http_ports.values())}"
+            )
+            if args.linger > 0:
+                say(
+                    f"lingering {args.linger:g}s with the fleet up "
+                    "(scrape with curl or `python -m repro top`) ..."
+                )
+                await asyncio.sleep(args.linger)
+        finally:
+            await launcher.stop()
+        return document
+
+    try:
+        document = asyncio.run(drive())
+    except FleetError as exc:
+        print(f"fleet failed: {exc}", file=sys.stderr)
+        return 1
+    text = render_json(document, args.out)
+    if args.json:
+        print(text, end="")
+    else:
+        rows = [
+            {
+                "plan": plan_id,
+                "holds": "yes" if verdict else "NO",
+            }
+            for plan_id, verdict in sorted(document["holds"].items())
+        ]
+        print_table(f"{spec.topology}: fleet verdicts", rows)
+        if args.out:
+            print(f"wrote JSON results to {args.out}")
+    # Exit status: with --check-simulator, parity is the contract (an
+    # injected erroneous update legitimately breaks an invariant on
+    # both backends); otherwise every invariant must hold.
+    ok = document["fleet_state"] in ("ok", "converging")
+    if args.check_simulator:
+        ok = ok and document["verdicts_match"]
+    else:
+        ok = ok and all(document["holds"].values())
+    return 0 if ok else 1
+
+
+def _fleet_simulator_parity(
+    spec, fleet_verdicts: dict, updates: int, say
+) -> bool:
+    """Diff the fleet's merged verdicts against a simulator run.
+
+    Replays the same workload -- burst install plus the same
+    deterministic update stream -- on the simulator backend.
+    """
+    from repro.bench.runners import run_tulkun_burst
+    from repro.fleet.spec import build_fleet_workload, fleet_update_stream
+
+    workload = build_fleet_workload(spec)
+    burst = run_tulkun_burst(workload)
+    for update in fleet_update_stream(spec, workload, updates):
+        burst.network.fib_update(update.device, update.apply)
+    simulated: dict = {}
+    for plan_id, _ in workload.plans:
+        rows = [
+            [
+                verdict.ingress,
+                verdict.holds,
+                sorted(list(entry) for entry in verdict.counts.tuples),
+            ]
+            for verdict in burst.network.verdicts(plan_id)
+        ]
+        rows.sort(key=lambda row: str(row[0]))
+        simulated[plan_id] = rows
+    match = simulated == fleet_verdicts
+    say(
+        "simulator parity: "
+        + ("verdicts identical" if match else "VERDICTS DIFFER")
+    )
+    return match
+
+
 def _parse_endpoint(spec: str) -> Optional[tuple]:
     host, _, port = spec.rpartition(":")
     if not host or not port.isdigit():
@@ -438,6 +614,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     distribution (p50/p80/max), message/byte totals, and the live-scrape
     overhead numbers (one :class:`~repro.obs.serve.TelemetryServer` over
     the run's registry, timed ``GET /metrics`` round-trips).
+
+    The ``fleet_sweep`` section sweeps fattree fabrics (``--sweep``)
+    at a fixed workload shape and records devices vs. diameter vs.
+    burst convergence -- the paper's claim that latency tracks network
+    *diameter*, not *size* (the k=16 run with rack hosts is the
+    1,344-device flagship).
     """
     from repro.bench.reporting import print_table, render_json
     from repro.bench.runners import (
@@ -498,12 +680,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "scrape bytes": scrape["metrics_bytes"],
             }
         )
+    if args.sweep:
+        sweep_rows = []
+        document["fleet_sweep"] = sweep = {}
+        for name in args.sweep:
+            if not args.json:
+                print(f"sweeping {name} ...")
+            entry = _sweep_entry(name)
+            sweep[name] = entry
+            sweep_rows.append(
+                {
+                    "fabric": name,
+                    "devices": entry["devices"],
+                    "diameter": entry["diameter"],
+                    "burst ms": f"{entry['burst_seconds'] * 1e3:.2f}",
+                    "msgs": entry["messages"],
+                    "bytes": entry["bytes"],
+                }
+            )
     document["analyzer"] = analyzer = _analyzer_stats()
     text = render_json(document, args.out)
     if args.json:
         print(text, end="")
     else:
         print_table("bench summary", rows)
+        if args.sweep:
+            print_table(
+                "fleet scale sweep (latency tracks diameter, not size)",
+                sweep_rows,
+            )
         if analyzer:
             lint_stats = analyzer["lint"]
             verify_stats = analyzer["verify_static"]
@@ -519,6 +724,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.out:
             print(f"wrote {args.out}")
     return 0
+
+
+def _sweep_entry(name: str) -> dict:
+    """One scale-sweep point: fixed workload shape, simulator burst.
+
+    Destinations and ingress sampling are pinned (4 destinations, 8
+    sampled ingresses) so the only thing varying across the sweep is
+    the fabric -- device count and diameter.
+    """
+    from repro.bench.runners import run_tulkun_burst
+    from repro.fleet.spec import FleetSpec, build_fleet_workload
+
+    workload = build_fleet_workload(
+        FleetSpec(topology=name, destinations=4, ingresses=8)
+    )
+    burst = run_tulkun_burst(workload)
+    return {
+        "devices": workload.topology.num_devices,
+        "links": workload.topology.num_links,
+        "diameter": workload.topology.diameter_hops(),
+        "plans": len(workload.plans),
+        "rules": workload.total_rules,
+        "burst_seconds": burst.burst_seconds,
+        "messages": burst.messages,
+        "bytes": burst.bytes,
+    }
 
 
 def _analyzer_stats() -> dict:
@@ -808,6 +1039,111 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    fleet = commands.add_parser(
+        "fleet",
+        help="launch a sharded multi-process fleet over real sockets",
+    )
+    fleet.add_argument(
+        "--topology",
+        default="ft4",
+        help=(
+            "fleet topology: ftK (k-ary fattree), ftKhH (H rack hosts "
+            "per ToR, e.g. ft16h8), or a dataset name (default: ft4)"
+        ),
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="number of worker processes (default: 2)",
+    )
+    fleet.add_argument(
+        "--base-port",
+        type=int,
+        default=27100,
+        help=(
+            "base of the deterministic port plan: workers serve control "
+            "on base+i, devices bind DVM/telemetry ports above it "
+            "(default: 27100)"
+        ),
+    )
+    fleet.add_argument(
+        "--destinations",
+        type=int,
+        default=4,
+        help="destination prefixes kept for the workload (0 = all; default: 4)",
+    )
+    fleet.add_argument(
+        "--ingresses",
+        type=int,
+        default=8,
+        help="ingresses sampled per invariant (0 = all owners; default: 8)",
+    )
+    fleet.add_argument(
+        "--updates",
+        type=int,
+        default=0,
+        help="incremental rule updates to apply after install (default: 0)",
+    )
+    fleet.add_argument(
+        "--seed",
+        type=int,
+        default=11,
+        help="workload seed (default: 11)",
+    )
+    fleet.add_argument(
+        "--keepalive",
+        type=float,
+        default=0.5,
+        help="session keepalive interval in seconds (default: 0.5)",
+    )
+    fleet.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-operation convergence deadline in seconds (default: 120)",
+    )
+    fleet.add_argument(
+        "--handshake-timeout",
+        type=float,
+        default=5.0,
+        help=(
+            "per-session OPEN handshake deadline in seconds; raise it "
+            "together with --keepalive on oversubscribed machines "
+            "(default: 5)"
+        ),
+    )
+    fleet.add_argument(
+        "--ready-timeout",
+        type=float,
+        default=180.0,
+        help="deadline for all workers to boot and establish (default: 180)",
+    )
+    fleet.add_argument(
+        "--check-simulator",
+        action="store_true",
+        help="also run the simulator backend and diff the verdicts",
+    )
+    fleet.add_argument(
+        "--json",
+        action="store_true",
+        help="emit results as one JSON document instead of text tables",
+    )
+    fleet.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON results document to this file",
+    )
+    fleet.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        help=(
+            "keep the fleet (and its telemetry endpoints) up this many "
+            "seconds after the workload (default: 0)"
+        ),
+    )
+
     top = commands.add_parser(
         "top",
         help="live per-device table scraped from /metrics + /healthz",
@@ -894,6 +1230,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the summary document to stdout",
     )
+    bench.add_argument(
+        "--sweep",
+        nargs="*",
+        default=["ft4", "ft8", "ft12", "ft16h8"],
+        metavar="FABRIC",
+        help=(
+            "fattree fabrics for the scale-sweep section (pass with no "
+            "values to skip; default: ft4 ft8 ft12 ft16h8)"
+        ),
+    )
 
     trace = commands.add_parser(
         "trace",
@@ -969,6 +1315,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "verify": _cmd_verify,
         "testbed": _cmd_testbed,
+        "fleet": _cmd_fleet,
         "trace": _cmd_trace,
         "top": _cmd_top,
         "bench": _cmd_bench,

@@ -1,0 +1,30 @@
+"""Sharded multi-process fleet runtime.
+
+One OS process (a "worker") hosts a shard of device agents on a shared
+asyncio loop; a launcher spawns and supervises the worker set that
+together runs the whole topology over real localhost TCP sockets.
+
+* :mod:`repro.fleet.sharding` -- deterministic device -> worker
+  assignment and the registry-free port plan.
+* :mod:`repro.fleet.spec`     -- the serializable fleet description and
+  the deterministic workload every worker rebuilds from it.
+* :mod:`repro.fleet.control`  -- the JSON-lines control channel between
+  launcher and workers.
+* :mod:`repro.fleet.worker`   -- the worker process entry point
+  (``python -m repro.fleet.worker``).
+* :mod:`repro.fleet.launcher` -- spawn, supervise, federate.
+
+See ``docs/RUNTIME.md`` ("Fleet mode") for the architecture.
+"""
+
+from repro.fleet.sharding import CONTROL_SPAN, ShardPlan, make_shard_plan
+from repro.fleet.spec import FleetSpec, build_fleet_workload, fleet_topology
+
+__all__ = [
+    "CONTROL_SPAN",
+    "FleetSpec",
+    "ShardPlan",
+    "build_fleet_workload",
+    "fleet_topology",
+    "make_shard_plan",
+]

@@ -1,0 +1,161 @@
+"""JSON-lines control channel between the fleet launcher and workers.
+
+One request per connection: the client writes a single JSON object on
+one line, the server answers with a single JSON object on one line and
+closes.  Deliberately minimal -- the channel carries orchestration
+(begin/inject/settle/stop) and small status documents, never DVM
+traffic, so one-shot connections keep both sides trivially robust to
+peer death.
+
+Responses always carry ``"ok"``: ``True`` with the op's payload, or
+``False`` with an ``"error"`` string (unknown op, handler exception).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Dict, Optional
+
+from repro.obs.log import get_logger, kv
+
+__all__ = ["ControlServer", "call"]
+
+logger = get_logger("fleet.control")
+
+#: Line-size cap for one control message (verdict lists can be large).
+_LINE_LIMIT = 2 ** 22
+
+Handler = Callable[[Dict[str, object]], Awaitable[Dict[str, object]]]
+
+
+class ControlServer:
+    """A worker's control endpoint: dispatch requests to one handler."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._handler = handler
+        self.host = host
+        self.port = port
+        self._server: Optional["asyncio.Server"] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve, host=self.host, port=self.port, limit=_LINE_LIMIT
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                response: Dict[str, object] = {
+                    "ok": False,
+                    "error": f"bad request: {exc}",
+                }
+            else:
+                try:
+                    response = await self._handler(request)
+                    response.setdefault("ok", True)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    logger.warning(
+                        "control handler raised",
+                        extra=kv(op=request.get("op"), error=repr(exc)),
+                    )
+                    response = {"ok": False, "error": repr(exc)}
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client vanished mid-exchange
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def call(
+    host: str,
+    port: int,
+    request: Dict[str, object],
+    timeout: float = 10.0,
+) -> Dict[str, object]:
+    """One control round-trip; raises on transport failure or deadline.
+
+    The deadline uses ``asyncio.wait`` on a task (not ``wait_for``) for
+    the same reason as :func:`repro.obs.serve.http_get`: on
+    Python < 3.12 ``wait_for`` can swallow an external cancellation,
+    and the launcher cancels in-flight calls when a worker dies.
+    """
+
+    async def _exchange() -> Dict[str, object]:
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=_LINE_LIMIT
+        )
+        try:
+            writer.write(json.dumps(request).encode("utf-8") + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if not line:
+            raise ConnectionError(
+                f"control peer {host}:{port} closed without answering"
+            )
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ValueError("control response must be a JSON object")
+        return response
+
+    exchange = asyncio.get_running_loop().create_task(_exchange())
+
+    async def _reap() -> None:
+        exchange.cancel()
+        try:
+            await exchange
+        except (
+            asyncio.CancelledError,
+            ConnectionError,
+            OSError,
+            ValueError,
+        ):
+            pass
+
+    try:
+        done, _pending = await asyncio.wait({exchange}, timeout=timeout)
+    except asyncio.CancelledError:
+        await _reap()
+        raise
+    if not done:
+        await _reap()
+        raise asyncio.TimeoutError(
+            f"control call to {host}:{port} timed out "
+            f"(op={request.get('op')!r})"
+        )
+    return exchange.result()

@@ -1,0 +1,395 @@
+"""Spawn, supervise and federate a fleet of worker processes.
+
+The launcher is the only process that sees the whole fleet, but it
+holds none of the verification state: workers rebuild everything from
+the shared :class:`~repro.fleet.spec.FleetSpec`, and the launcher just
+orchestrates over the control channel -- broadcast an injection, run
+the federated settle loop, collect per-shard results.
+
+Supervision: worker processes are polled for liveness on every settle
+round and every broadcast; an unexpected exit raises
+:class:`WorkerCrashed` naming the dead workers (crash propagation), and
+:meth:`FleetLauncher.restart` re-spawns one worker, which re-binds its
+planned ports and re-establishes its sessions.  Shutdown sends a
+``stop`` op (graceful drain), then SIGTERM, then SIGKILL.
+
+Federated quiescence: each worker keeps the per-process silence
+detector of :class:`~repro.runtime.cluster.RuntimeCluster`; the
+launcher polls every worker's activity counter and busy flag and
+declares fleet convergence after ``settle_rounds`` consecutive polls
+with no new activity anywhere and every queue empty -- the distributed
+version of the single-process rule.  Convergence time is the *max* of
+the per-worker ``finish`` results (last counting activity in any
+shard).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fleet import control
+from repro.fleet.sharding import ShardPlan, make_shard_plan
+from repro.fleet.spec import FleetSpec, fleet_topology
+from repro.obs.log import get_logger, kv
+
+__all__ = ["FleetError", "FleetLauncher", "WorkerCrashed"]
+
+logger = get_logger("fleet.launcher")
+
+
+class FleetError(RuntimeError):
+    """A fleet-level orchestration failure."""
+
+
+class WorkerCrashed(FleetError):
+    """One or more worker processes exited unexpectedly."""
+
+    def __init__(self, workers: List[int], codes: List[Optional[int]]):
+        self.workers = workers
+        self.codes = codes
+        detail = ", ".join(
+            f"worker {index} (exit {code})"
+            for index, code in zip(workers, codes)
+        )
+        super().__init__(f"fleet workers died: {detail}")
+
+
+@dataclass
+class WorkerHandle:
+    """One spawned worker process and its control address."""
+
+    index: int
+    process: "subprocess.Popen[bytes]"
+    control_port: int
+    log_path: str
+
+
+class FleetLauncher:
+    """Boot and drive a multi-process fleet described by one spec."""
+
+    def __init__(
+        self, spec: FleetSpec, run_dir: Optional[str] = None
+    ) -> None:
+        self.spec = spec
+        self.topology = fleet_topology(spec.topology, spec.scale)
+        self.plan: ShardPlan = make_shard_plan(
+            self.topology, spec.workers, spec.base_port
+        )
+        self.run_dir = run_dir or tempfile.mkdtemp(prefix="repro-fleet-")
+        self.spec_path = os.path.join(self.run_dir, "fleet.json")
+        self.workers: Dict[int, WorkerHandle] = {}
+        self._stopping = False
+
+    # -- process management ------------------------------------------------
+
+    def _spawn(self, index: int) -> WorkerHandle:
+        env = dict(os.environ)
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+        log_path = os.path.join(self.run_dir, f"worker-{index}.log")
+        with open(log_path, "ab") as log_file:
+            process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.fleet.worker",
+                    "--spec",
+                    self.spec_path,
+                    "--worker",
+                    str(index),
+                ],
+                env=env,
+                stdout=log_file,
+                stderr=subprocess.STDOUT,
+            )
+        handle = WorkerHandle(
+            index=index,
+            process=process,
+            control_port=self.plan.control_port(index),
+            log_path=log_path,
+        )
+        self.workers[index] = handle
+        logger.info(
+            "spawned fleet worker",
+            extra=kv(worker=index, pid=process.pid, log=log_path),
+        )
+        return handle
+
+    def crashed_workers(self) -> List[WorkerHandle]:
+        """Workers that exited while the fleet was supposed to be up."""
+        if self._stopping:
+            return []
+        return [
+            handle
+            for handle in self.workers.values()
+            if handle.process.poll() is not None
+        ]
+
+    def check_alive(self) -> None:
+        """Raise :class:`WorkerCrashed` if any worker died unexpectedly."""
+        dead = self.crashed_workers()
+        if dead:
+            raise WorkerCrashed(
+                [handle.index for handle in dead],
+                [handle.process.poll() for handle in dead],
+            )
+
+    def _write_spec(self) -> None:
+        with open(self.spec_path, "w") as handle:
+            handle.write(self.spec.to_json())
+
+    async def start(self, ready_timeout: float = 120.0) -> None:
+        """Write the spec, spawn every worker, wait until all are ready."""
+        self._write_spec()
+        for index in range(self.spec.workers):
+            self._spawn(index)
+        await self.wait_ready(ready_timeout)
+
+    async def wait_ready(
+        self, timeout: float, indices: Optional[List[int]] = None
+    ) -> None:
+        """Poll ``ping`` until the given (default: all) workers are ready."""
+        pending = set(
+            indices if indices is not None else self.workers.keys()
+        )
+        deadline = time.monotonic() + timeout
+        while pending:
+            self.check_alive()
+            if time.monotonic() > deadline:
+                raise FleetError(
+                    f"workers {sorted(pending)} not ready within "
+                    f"{timeout:g}s (see logs in {self.run_dir})"
+                )
+            for index in sorted(pending):
+                try:
+                    response = await control.call(
+                        "127.0.0.1",
+                        self.workers[index].control_port,
+                        {"op": "ping"},
+                        timeout=2.0,
+                    )
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    continue
+                if response.get("ok") and response.get("ready"):
+                    pending.discard(index)
+            if pending:
+                await asyncio.sleep(0.1)
+
+    async def restart(
+        self, index: int, ready_timeout: float = 120.0
+    ) -> None:
+        """Re-spawn one (dead) worker and wait for it to re-establish."""
+        handle = self.workers.get(index)
+        if handle is not None and handle.process.poll() is None:
+            raise FleetError(f"worker {index} is still running")
+        self._spawn(index)
+        await self.wait_ready(ready_timeout, indices=[index])
+
+    async def stop(self, grace: float = 10.0) -> None:
+        """Drain the fleet: stop op, then SIGTERM, then SIGKILL."""
+        self._stopping = True
+        for handle in self.workers.values():
+            if handle.process.poll() is not None:
+                continue
+            try:
+                await control.call(
+                    "127.0.0.1",
+                    handle.control_port,
+                    {"op": "stop"},
+                    timeout=2.0,
+                )
+            except (
+                ConnectionError,
+                OSError,
+                ValueError,
+                asyncio.TimeoutError,
+            ):
+                pass  # unreachable worker: escalate to signals below
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline and any(
+            handle.process.poll() is None
+            for handle in self.workers.values()
+        ):
+            await asyncio.sleep(0.05)
+        for handle in self.workers.values():
+            if handle.process.poll() is None:
+                handle.process.terminate()
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline and any(
+            handle.process.poll() is None
+            for handle in self.workers.values()
+        ):
+            await asyncio.sleep(0.05)
+        for handle in self.workers.values():
+            if handle.process.poll() is None:
+                logger.warning(
+                    "killing unresponsive worker",
+                    extra=kv(worker=handle.index),
+                )
+                handle.process.kill()
+                handle.process.wait()
+
+    # -- control-plane orchestration ---------------------------------------
+
+    async def call_worker(
+        self,
+        index: int,
+        request: Dict[str, object],
+        timeout: float = 30.0,
+    ) -> Dict[str, object]:
+        """One checked control call to one worker."""
+        response = await control.call(
+            "127.0.0.1",
+            self.workers[index].control_port,
+            request,
+            timeout=timeout,
+        )
+        if not response.get("ok"):
+            raise FleetError(
+                f"worker {index} rejected {request.get('op')!r}: "
+                f"{response.get('error')}"
+            )
+        return response
+
+    async def broadcast(
+        self, request: Dict[str, object], timeout: float = 30.0
+    ) -> List[Dict[str, object]]:
+        """The same control call to every worker, in worker order."""
+        self.check_alive()
+        try:
+            return list(
+                await asyncio.gather(
+                    *(
+                        self.call_worker(index, dict(request), timeout)
+                        for index in sorted(self.workers)
+                    )
+                )
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            # Re-check liveness: a connection error during a broadcast
+            # usually means a worker died mid-call.
+            self.check_alive()
+            raise
+
+    async def settle(self, timeout: Optional[float] = None) -> None:
+        """Federated quiescence: poll every worker until fleet silence."""
+        deadline = time.monotonic() + (timeout or self.spec.op_timeout)
+        quiet_rounds = 0
+        last_activity: Optional[int] = None
+        while quiet_rounds < self.spec.settle_rounds:
+            if time.monotonic() > deadline:
+                raise FleetError(
+                    "fleet did not reach quiescence within deadline "
+                    f"(last activity total: {last_activity})"
+                )
+            await asyncio.sleep(self.spec.quiescence_grace)
+            statuses = await self.broadcast({"op": "status"})
+            activity = sum(int(s["activity"]) for s in statuses)  # type: ignore[arg-type]
+            busy = any(bool(s["busy"]) for s in statuses)
+            if activity == last_activity and not busy:
+                quiet_rounds += 1
+            else:
+                quiet_rounds = 0
+                last_activity = activity
+
+    async def run_operation(
+        self,
+        label: str,
+        inject: Dict[str, object],
+        only_worker: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> float:
+        """begin everywhere -> inject -> federated settle -> max finish.
+
+        ``begin``/``finish`` always span *every* worker -- even when the
+        injection targets one shard -- so the per-worker convergence
+        clocks measure the same operation window.
+        """
+        await self.broadcast({"op": "begin", "label": label})
+        if only_worker is None:
+            await self.broadcast(dict(inject), timeout=timeout or 60.0)
+        else:
+            await self.call_worker(
+                only_worker, dict(inject), timeout=timeout or 60.0
+            )
+        await self.settle(timeout)
+        finishes = await self.broadcast({"op": "finish"})
+        return max(float(f["seconds"]) for f in finishes)  # type: ignore[arg-type]
+
+    async def install_plans(
+        self, timeout: Optional[float] = None
+    ) -> float:
+        """Fleet-wide plan installation burst; returns convergence s."""
+        return await self.run_operation(
+            "fleet_install", {"op": "install"}, timeout=timeout
+        )
+
+    async def apply_update(
+        self, index: int, count: int, timeout: Optional[float] = None
+    ) -> float:
+        """One incremental update of the shared deterministic stream."""
+        return await self.run_operation(
+            f"fleet_update:{index}",
+            {"op": "update", "index": index, "count": count},
+            timeout=timeout,
+        )
+
+    async def link_event(
+        self, a: str, b: str, up: bool, timeout: Optional[float] = None
+    ) -> float:
+        """Fail or recover link (a, b) fleet-wide."""
+        label = "link_recover" if up else "link_fail"
+        return await self.run_operation(
+            f"{label}:{a}-{b}",
+            {"op": "link", "a": a, "b": b, "up": up},
+            timeout=timeout,
+        )
+
+    async def verdicts(self) -> Dict[str, List[List[object]]]:
+        """Merged per-plan root verdicts across every shard."""
+        merged: Dict[str, List[List[object]]] = {}
+        for response in await self.broadcast({"op": "verdicts"}):
+            shard_verdicts = response.get("verdicts")
+            if not isinstance(shard_verdicts, dict):
+                continue
+            for plan_id, rows in shard_verdicts.items():
+                merged.setdefault(plan_id, []).extend(rows)
+        for rows in merged.values():
+            rows.sort(key=lambda row: str(row[0]))
+        return merged
+
+    def holds(self, verdicts: Dict[str, List[List[object]]]) -> Dict[str, bool]:
+        """Per-plan fleet verdict: every ingress holds, none missing."""
+        return {
+            plan_id: bool(rows) and all(bool(row[1]) for row in rows)
+            for plan_id, rows in verdicts.items()
+        }
+
+    async def metrics(self) -> Dict[str, int]:
+        """Fleet traffic totals summed over workers."""
+        totals = {"messages": 0, "bytes": 0, "reconnects": 0}
+        for response in await self.broadcast({"op": "metrics"}):
+            for key in totals:
+                totals[key] += int(response.get(key, 0))  # type: ignore[arg-type]
+        return totals
+
+    # -- observability federation ------------------------------------------
+
+    def telemetry_targets(self) -> List[Tuple[str, int]]:
+        """Every agent's planned (host, port) telemetry address."""
+        return [
+            ("127.0.0.1", port)
+            for _, port in sorted(self.plan.http_ports.items())
+        ]

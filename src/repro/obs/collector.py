@@ -67,7 +67,7 @@ class DeviceSample:
     target: Target
     device: str
     ok: bool
-    status: str  # "ok" | "degraded" | "unreachable"
+    status: str  # "ok" | "degraded" | "unreachable" | "starting"
     http_status: int = 0
     latency_seconds: float = 0.0
     health: Optional[Dict[str, object]] = None
@@ -89,7 +89,7 @@ class DeviceSample:
 class FleetSnapshot:
     """One scrape cycle over the whole fleet."""
 
-    state: str  # "ok" | "degraded" | "empty"
+    state: str  # "ok" | "degraded" | "starting" | "empty"
     samples: List[DeviceSample] = field(default_factory=list)
     #: Alerts fired by *this* cycle (the collector also accumulates
     #: every alert ever fired in ``Collector.alerts``).
@@ -116,19 +116,24 @@ class Collector:
         registry: Optional[MetricsRegistry] = None,
         timeout: float = 2.0,
         stall_scrapes: int = 2,
+        launch_grace_seconds: float = 0.0,
     ) -> None:
-        self.targets: List[Target] = [
-            (str(host), int(port)) for host, port in targets
-        ]
         self.registry = registry if registry is not None else MetricsRegistry()
         self.fleet = install_fleet_schema(self.registry)
         self.timeout = timeout
         #: Consecutive frozen-while-converging scrapes before a stall
         #: alert fires (1 = alert on the first frozen interval).
         self.stall_scrapes = max(1, stall_scrapes)
+        #: A target that has never answered reports ``"starting"`` (not
+        #: ``"unreachable"``) for this long after registration, and does
+        #: not degrade the fleet -- slow-booting workers are launch
+        #: noise, not incidents.
+        self.launch_grace_seconds = max(0.0, launch_grace_seconds)
         self.state = "unknown"
         self.alerts: List[Dict[str, object]] = []
         self.cycles = 0
+        self.targets: List[Target] = []
+        self._registered_at: Dict[Target, float] = {}
         self._device_names: Dict[Target, str] = {}
         self._activity: Dict[str, float] = {}
         self._frozen: Dict[str, int] = {}
@@ -136,6 +141,22 @@ class Collector:
         self._last_success: Dict[Target, float] = {}
         self._started_at = time.monotonic()
         self._scrape_task: Optional["asyncio.Task[None]"] = None
+        self.add_targets(targets)
+
+    def add_targets(self, targets: Sequence[Target]) -> None:
+        """Register endpoints (idempotent); fine after construction.
+
+        Fleet workers appear one by one as the launcher boots them, so
+        the collector accepts late registrations; each new target's
+        launch grace window starts at its registration time.
+        """
+        now = time.monotonic()
+        for host, port in targets:
+            target = (str(host), int(port))
+            if target in self._registered_at:
+                continue
+            self.targets.append(target)
+            self._registered_at[target] = now
 
     # -- scraping ----------------------------------------------------------
 
@@ -153,11 +174,18 @@ class Collector:
             health = json.loads(health_body.decode("utf-8"))
             variables = json.loads(vars_body.decode("utf-8"))
         except (asyncio.TimeoutError, ConnectionError, OSError, ValueError) as exc:
+            status = "unreachable"
+            if target not in self._last_success:
+                registered = self._registered_at.get(
+                    target, self._started_at
+                )
+                if time.monotonic() - registered < self.launch_grace_seconds:
+                    status = "starting"
             return DeviceSample(
                 target=target,
                 device=fallback_name,
                 ok=False,
-                status="unreachable",
+                status=status,
                 latency_seconds=time.monotonic() - start,
                 error=repr(exc),
             )
@@ -241,12 +269,15 @@ class Collector:
         now = time.monotonic()
         for sample in samples:
             self._merge(sample, now, snapshot)
-        if samples:
+        settled = [s for s in samples if s.status != "starting"]
+        if settled:
             snapshot.state = (
                 "ok"
-                if all(s.ok and not s.stalled for s in samples)
+                if all(s.ok and not s.stalled for s in settled)
                 else "degraded"
             )
+        elif samples:
+            snapshot.state = "starting"  # whole fleet within launch grace
         self.state = snapshot.state
         self.fleet["fleet_degraded"].set(
             1.0 if snapshot.state == "degraded" else 0.0
@@ -259,7 +290,12 @@ class Collector:
     ) -> None:
         device = sample.device
         fleet = self.fleet
-        outcome = "ok" if sample.status != "unreachable" else "error"
+        if sample.status == "unreachable":
+            outcome = "error"
+        elif sample.status == "starting":
+            outcome = "starting"
+        else:
+            outcome = "ok"
         cast(
             Counter,
             fleet["fleet_scrapes_total"].labels(device=device, outcome=outcome),
@@ -268,7 +304,7 @@ class Collector:
             Histogram,
             fleet["fleet_scrape_latency_seconds"].labels(device=device),
         ).observe(sample.latency_seconds)
-        up = sample.status != "unreachable"
+        up = sample.status not in ("unreachable", "starting")
         self._gauge("fleet_device_up", device).set(1.0 if up else 0.0)
         self._gauge("fleet_device_healthy", device).set(
             1.0 if sample.ok else 0.0
@@ -276,7 +312,8 @@ class Collector:
         if up:
             self._last_success[sample.target] = now
         sample.staleness_seconds = now - self._last_success.get(
-            sample.target, self._started_at
+            sample.target,
+            self._registered_at.get(sample.target, self._started_at),
         )
         self._gauge("fleet_scrape_staleness_seconds", device).set(
             sample.staleness_seconds
@@ -317,7 +354,7 @@ class Collector:
             and sample.health.get("phase") == "converging"
         )
         previous = self._activity.get(device)
-        if sample.status == "unreachable" or not converging:
+        if sample.status in ("unreachable", "starting") or not converging:
             # No open operation (or no data): not a stall candidate.
             self._frozen[device] = 0
         elif previous is not None and sample.counting_activity <= previous:
@@ -338,7 +375,7 @@ class Collector:
                     )
         else:
             self._frozen[device] = 0
-        if sample.status != "unreachable":
+        if sample.status not in ("unreachable", "starting"):
             self._activity[device] = sample.counting_activity
         self._gauge("fleet_device_stalled", device).set(
             1.0 if sample.stalled else 0.0
@@ -349,7 +386,7 @@ class Collector:
     ) -> None:
         previous = self._status.get(sample.device)
         self._status[sample.device] = sample.status
-        if sample.status == previous or sample.status == "ok":
+        if sample.status == previous or sample.status in ("ok", "starting"):
             return
         self._alert(
             snapshot,

@@ -31,6 +31,7 @@ works against either backend.
 from __future__ import annotations
 
 import asyncio
+import errno
 import json
 import time
 from typing import Callable, Dict, Optional, Tuple
@@ -71,6 +72,13 @@ class TelemetryServer:
     can be swapped or lazily built; ``health_provider`` returns the
     ``/healthz`` JSON document -- its ``"status"`` key decides the HTTP
     status (``"ok"`` -> 200, anything else -> 503).
+
+    ``port_retry_window`` bounds EADDRINUSE fallback for planned (fixed)
+    ports: when the requested port is taken, ``start()`` walks up to
+    ``port + port_retry_window`` inclusive before giving up.  The bound
+    port is written back to :attr:`port`, which is what
+    ``deployment.http_endpoints`` reports -- so a stale socket in
+    TIME_WAIT shifts an agent one port over instead of crashing it.
     """
 
     def __init__(
@@ -80,12 +88,15 @@ class TelemetryServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        port_retry_window: int = 0,
         request_timeout: float = 5.0,
     ) -> None:
         self._registry_provider = registry_provider
         self._health_provider = health_provider or self._default_health
         self.host = host
         self.port = port  # the bound port after start() (0 = ephemeral)
+        self._requested_port = port
+        self.port_retry_window = port_retry_window
         self.request_timeout = request_timeout
         self.requests_served = 0
         self._started_at = 0.0
@@ -103,9 +114,26 @@ class TelemetryServer:
 
     async def start(self) -> None:
         self._started_at = time.monotonic()
-        self._server = await asyncio.start_server(
-            self._handle, host=self.host, port=self.port
-        )
+        requested = self._requested_port
+        window = self.port_retry_window if requested else 0
+        server: Optional["asyncio.Server"] = None
+        for offset in range(window + 1):
+            candidate = requested + offset
+            try:
+                server = await asyncio.start_server(
+                    self._handle, host=self.host, port=candidate
+                )
+                break
+            except OSError as exc:
+                if exc.errno != errno.EADDRINUSE or offset >= window:
+                    raise
+                logger.warning(
+                    "telemetry port in use, retrying next offset",
+                    extra=kv(host=self.host, port=candidate),
+                )
+        if server is None:  # unreachable: the final attempt re-raises
+            raise OSError(errno.EADDRINUSE, "no free telemetry port")
+        self._server = server
         self.port = self._server.sockets[0].getsockname()[1]
         logger.debug(
             "telemetry server listening",
@@ -199,6 +227,13 @@ async def http_get(
     Raises ``ConnectionError`` / ``OSError`` when the endpoint is
     unreachable or answers garbage, ``asyncio.TimeoutError`` on
     deadline -- the callers treat all three as "agent down".
+
+    The deadline is enforced with ``asyncio.wait`` rather than
+    ``asyncio.wait_for``: on Python < 3.12 ``wait_for`` swallows an
+    *external* cancellation that races with the inner future completing,
+    which left cancelled scrape loops running forever (their canceller
+    awaits them indefinitely).  Callers that cancel a task blocked here
+    always see ``CancelledError``.
     """
 
     async def _fetch() -> Tuple[int, bytes]:
@@ -231,7 +266,29 @@ async def http_get(
             )
         return int(status_parts[1]), body
 
-    return await asyncio.wait_for(_fetch(), timeout)
+    fetch = asyncio.get_running_loop().create_task(_fetch())
+
+    async def _reap() -> None:
+        fetch.cancel()
+        try:
+            await fetch
+        except (
+            asyncio.CancelledError,
+            ConnectionError,
+            OSError,
+            ValueError,
+        ):
+            pass
+
+    try:
+        done, _pending = await asyncio.wait({fetch}, timeout=timeout)
+    except asyncio.CancelledError:
+        await _reap()
+        raise
+    if not done:
+        await _reap()
+        raise asyncio.TimeoutError(f"GET {host}:{port}{path} timed out")
+    return fetch.result()
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,19 @@ along topology links with :class:`~repro.runtime.connection.PeerSession`
 (the smaller endpoint dials).  All DVM traffic travels as the real
 length-prefixed binary frames end-to-end.
 
+**Sharded (fleet) mode.**  A cluster can also host just a *shard* of the
+topology: pass ``shard`` (the devices this process owns) plus
+``dvm_ports`` (the fleet's deterministic device -> DVM port plan, see
+:mod:`repro.fleet.sharding`).  Local hosts bind their planned ports;
+sessions toward devices of other shards dial the planned port directly,
+so worker processes rendezvous with no registry.  Sessions between two
+co-located devices skip the kernel entirely via the in-memory fast path
+(:func:`repro.runtime.fastpath.memory_pair`) while still exchanging
+byte-identical DVM frames.  Workload injection and quiescence stay
+per-shard; the fleet launcher (:mod:`repro.fleet.launcher`) federates
+them through the split operation API (:meth:`RuntimeCluster
+.begin_operation` / :meth:`inject_plans` / :meth:`settle_operation`).
+
 Convergence ("quiescence") is detected the way real testbeds do it --
 by watching for silence: an activity counter ticks on every counting
 message enqueued, transmitted, or processed, and the network is deemed
@@ -24,7 +37,16 @@ import asyncio
 import random
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.dataplane.fib import Fib
 from repro.dvm.messages import (
@@ -51,6 +73,7 @@ from repro.obs.trace import (
 from repro.packetspace.predicate import PredicateFactory
 from repro.planner.tasks import Plan
 from repro.runtime.connection import BackoffPolicy, PeerSession, SessionEvents
+from repro.runtime.fastpath import memory_pair
 from repro.runtime.metrics import ClusterMetrics, DeviceMetrics
 from repro.runtime.transport import SESSION_PLAN, FramedChannel
 from repro.topology.graph import Topology
@@ -78,6 +101,7 @@ class DeviceHost:
         metrics: DeviceMetrics,
         cluster: "RuntimeCluster",
         http_port: Optional[int] = None,
+        dvm_port: int = 0,
     ) -> None:
         self.device = device
         self.verifier = verifier
@@ -93,6 +117,8 @@ class DeviceHost:
             asyncio.Queue()
         )
         self.server: Optional[asyncio.Server] = None
+        #: Planned DVM port (0 = ephemeral); ``port`` is the bound one.
+        self.dvm_port = dvm_port
         self.port: int = 0
         self._pump_task: Optional["asyncio.Task[None]"] = None
         # Live telemetry (None = disabled on this cluster).  The server
@@ -107,9 +133,16 @@ class DeviceHost:
 
     async def start(self) -> None:
         self._started_at = time.monotonic()
-        self.server = await asyncio.start_server(
-            self._accept, host="127.0.0.1", port=0
-        )
+        try:
+            self.server = await asyncio.start_server(
+                self._accept, host="127.0.0.1", port=self.dvm_port
+            )
+        except OSError as exc:
+            raise OSError(
+                exc.errno or 0,
+                f"cannot bind DVM port {self.dvm_port} for device "
+                f"{self.device!r}: {exc.strerror or exc}",
+            ) from exc
         self.port = self.server.sockets[0].getsockname()[1]
         self._pump_task = asyncio.get_running_loop().create_task(self._pump())
         if self._requested_http_port is not None:
@@ -118,6 +151,7 @@ class DeviceHost:
                 self.health,
                 host=self.cluster.http_host,
                 port=self._requested_http_port,
+                port_retry_window=self.cluster.http_retry_window,
             )
             await self.telemetry.start()
 
@@ -353,6 +387,10 @@ class RuntimeCluster:
         http_enabled: bool = True,
         http_base_port: Optional[int] = None,
         http_host: str = "127.0.0.1",
+        http_retry_window: int = 0,
+        shard: Optional[Iterable[str]] = None,
+        dvm_ports: Optional[Dict[str, int]] = None,
+        local_fastpath: bool = False,
     ) -> None:
         self.topology = topology
         self.factory = factory
@@ -370,12 +408,42 @@ class RuntimeCluster:
         self.http_enabled = http_enabled
         self.http_base_port = http_base_port
         self.http_host = http_host
+        self.http_retry_window = http_retry_window
+        #: Devices hosted by *this* process (sorted); the whole topology
+        #: when ``shard`` is None (classic single-process testbed).
+        self.local_devices: Tuple[str, ...] = tuple(
+            sorted(shard) if shard is not None else topology.devices
+        )
+        unknown = [
+            device
+            for device in self.local_devices
+            if not topology.has_device(device)
+        ]
+        if unknown:
+            raise ValueError(f"shard names unknown devices: {unknown}")
+        #: Fleet-wide device -> DVM server port plan (empty = ephemeral).
+        self.dvm_ports: Dict[str, int] = dict(dvm_ports or {})
+        if len(self.local_devices) < topology.num_devices:
+            missing = [
+                device
+                for device in topology.devices
+                if device not in self.dvm_ports
+            ]
+            if missing:
+                raise ValueError(
+                    "sharded clusters need a dvm_ports entry for every "
+                    f"device; missing {missing[:3]}..."
+                )
+        self.local_fastpath = local_fastpath
         self.hosts: Dict[str, DeviceHost] = {}
         self._plans: Dict[str, Plan] = {}
         self._failed_links: Set[Tuple[str, str]] = set()
         self._activity = 0
         self._last_activity_wall = time.monotonic()
         self._started = False
+        # In-process fast-path accept tasks (one per co-located connect);
+        # references keep them alive until done.
+        self._accept_tasks: Set["asyncio.Task[None]"] = set()
         # Out-of-band causality: per directed link, the span ids of the
         # handlers whose frames are in flight (FIFO matches the per-link
         # TCP ordering).  Best-effort -- cleared on session churn.
@@ -421,6 +489,15 @@ class RuntimeCluster:
     def note_activity(self) -> None:
         self._activity += 1
         self._last_activity_wall = time.monotonic()
+
+    @property
+    def activity(self) -> int:
+        """Monotonic counting-activity counter (fleet settle polls it)."""
+        return self._activity
+
+    def is_busy(self) -> bool:
+        """True while any inbox or session write queue is non-empty."""
+        return self._busy()
 
     def link_admin_up(self, a: str, b: str) -> bool:
         return _normalize(a, b) not in self._failed_links
@@ -500,6 +577,8 @@ class RuntimeCluster:
         """
         ports: Dict[str, Optional[int]] = {}
         for index, device in enumerate(sorted(self.topology.devices)):
+            if device not in self.hosts and device not in self.local_devices:
+                continue
             if not self.http_enabled:
                 ports[device] = None
             elif self.http_base_port is None:
@@ -508,10 +587,19 @@ class RuntimeCluster:
                 ports[device] = self.http_base_port + index
         return ports
 
+    def is_local(self, device: str) -> bool:
+        """True when this process hosts ``device``'s agent."""
+        return device in self.hosts
+
     async def start(self) -> None:
-        """Boot every host, dial every link, wait for all sessions."""
+        """Boot the local hosts, dial every link, wait for all sessions.
+
+        In sharded mode only this shard's devices boot; sessions toward
+        other shards dial the fleet port plan and establish once the
+        owning worker is up (so a fleet boots in any worker order).
+        """
         http_ports = self._allocate_http_ports()
-        for device in self.topology.devices:
+        for device in self.local_devices:
             verifier = OnDeviceVerifier(
                 device,
                 self.factory,
@@ -527,6 +615,7 @@ class RuntimeCluster:
                 self.metrics.device(device),
                 self,
                 http_port=http_ports[device],
+                dvm_port=self.dvm_ports.get(device, 0),
             )
             self.hosts[device] = host
             await host.start()
@@ -539,13 +628,43 @@ class RuntimeCluster:
         await self.wait_all_established()
         self._started = True
 
+    def _peer_port(self, peer: str) -> int:
+        """The DVM port to dial for ``peer`` (local bind or fleet plan)."""
+        host = self.hosts.get(peer)
+        if host is not None:
+            return host.port
+        return self.dvm_ports[peer]
+
+    async def _local_connect(
+        self, peer: str
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """In-process fast path: memory pair straight into ``peer``'s
+        accept path (same handshake, byte-identical frames, no kernel)."""
+        host = self.hosts.get(peer)
+        if host is None or host.server is None:
+            raise ConnectionError(f"no in-process host for {peer!r}")
+        local_end, remote_end = memory_pair()
+        task = asyncio.get_running_loop().create_task(
+            host._accept(remote_end[0], remote_end[1])
+        )
+        self._accept_tasks.add(task)
+        task.add_done_callback(self._accept_tasks.discard)
+        return local_end
+
     def _wire(self, device: str, peer: str) -> None:
-        host = self.hosts[device]
+        host = self.hosts.get(device)
+        if host is None:
+            return  # endpoint owned by another fleet worker
         events = SessionEvents(
             on_message=host.handle_incoming,
             on_established=host.on_session_established,
             on_peer_down=host.on_peer_down,
             link_up=lambda p, d=device: self.link_admin_up(d, p),
+        )
+        use_fastpath = (
+            self.local_fastpath
+            and device < peer  # the dialing side drives the fast path
+            and peer in self.local_devices
         )
         host.sessions[peer] = PeerSession(
             device,
@@ -554,12 +673,17 @@ class RuntimeCluster:
             host.metrics,
             events,
             active=device < peer,
-            peer_address=lambda p=peer: ("127.0.0.1", self.hosts[p].port),
+            peer_address=lambda p=peer: ("127.0.0.1", self._peer_port(p)),
             keepalive_interval=self.keepalive_interval,
             hold_multiplier=self.hold_multiplier,
             backoff=self.backoff,
             rng=random.Random(f"{self.seed}:{device}:{peer}"),
             tracer=self.tracer,
+            connector=(
+                (lambda p=peer: self._local_connect(p))
+                if use_fastpath
+                else None
+            ),
         )
 
     async def wait_all_established(
@@ -578,20 +702,105 @@ class RuntimeCluster:
     async def wait_session(
         self, a: str, b: str, timeout: Optional[float] = None
     ) -> None:
-        """Wait until both directions of link (a, b) are established."""
+        """Wait until the locally-hosted ends of link (a, b) establish."""
+        waiters = []
+        for device, peer in ((a, b), (b, a)):
+            host = self.hosts.get(device)
+            if host is not None:
+                waiters.append(host.sessions[peer].established.wait())
+        if not waiters:
+            return
         await asyncio.wait_for(
-            asyncio.gather(
-                self.hosts[a].sessions[b].established.wait(),
-                self.hosts[b].sessions[a].established.wait(),
-            ),
-            timeout=timeout or self.op_timeout,
+            asyncio.gather(*waiters), timeout=timeout or self.op_timeout
         )
 
     async def stop(self) -> None:
         for host in self.hosts.values():
             await host.stop()
+        pending = list(self._accept_tasks)
+        self._accept_tasks.clear()
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
         self.hosts.clear()
         self._started = False
+
+    # -- split operation API (fleet workers inject, settle, report) ---------
+    #
+    # The classic workload operations below are begin + inject + settle
+    # fused into one coroutine.  Fleet workers need the pieces: the
+    # launcher broadcasts the injection to every worker synchronously,
+    # then each worker settles in the background while /healthz reports
+    # phase="converging".
+
+    def begin_operation(self, label: str = "op") -> float:
+        """Open an operation window; returns its start timestamp."""
+        return self._begin_op(label)
+
+    def finish_operation(self, start: float) -> float:
+        """Close the window; returns convergence seconds (last activity)."""
+        return self._finish_op(start)
+
+    async def settle_operation(self, start: float) -> float:
+        """Wait for quiescence, then close the operation window."""
+        await self.wait_quiescence()
+        return self._finish_op(start)
+
+    def inject_plans(self, plans: Dict[str, Plan]) -> None:
+        """Install plans on their *locally hosted* devices (no settle).
+
+        Sharded mode: devices owned by other workers are skipped here --
+        their own worker injects the same plans, so fleet-wide every
+        device still receives its tasks exactly once.
+        """
+        for plan_id, plan in plans.items():
+            self._plans[plan_id] = plan
+            for device in plan.devices():
+                host = self.hosts.get(device)
+                if host is None:
+                    continue
+                host.installed_plans.append(plan_id)
+                host.call(
+                    lambda v=host.verifier, i=plan_id, p=plan: v.install_plan(
+                        i, p
+                    ),
+                    name="install_plan",
+                    parent=self._op_span,
+                )
+
+    def inject_fib_update(
+        self, device: str, mutate: Callable[[], None]
+    ) -> bool:
+        """Apply one rule update if ``device`` is local; True when it was."""
+        host = self.hosts.get(device)
+        if host is None:
+            return False
+        mutate()
+        host.call(
+            host.verifier.on_fib_changed,
+            name="fib_changed",
+            parent=self._op_span,
+        )
+        return True
+
+    def apply_link_event(self, a: str, b: str, up: bool) -> None:
+        """Mark link (a, b) up/down and notify its local endpoints."""
+        if up:
+            self._failed_links.discard(_normalize(a, b))
+        else:
+            self._failed_links.add(_normalize(a, b))
+        for device, peer in ((a, b), (b, a)):
+            host = self.hosts.get(device)
+            if host is None:
+                continue
+            if not up:
+                host.sessions[peer].disconnect()
+            host.call(
+                lambda v=host.verifier: v.on_link_event((a, b), up=up),
+                name="link_event",
+                parent=self._op_span,
+            )
 
     # -- workload operations (each returns convergence seconds) ------------
 
@@ -601,35 +810,17 @@ class RuntimeCluster:
     async def install_plans(self, plans: Dict[str, Plan]) -> float:
         """Install plans on their devices as one burst, run to quiescence."""
         start = self._begin_op(f"install_plans:{len(plans)}")
-        for plan_id, plan in plans.items():
-            self._plans[plan_id] = plan
-            for device in plan.devices():
-                host = self.hosts[device]
-                host.installed_plans.append(plan_id)
-                host.call(
-                    lambda v=host.verifier, i=plan_id, p=plan: v.install_plan(
-                        i, p
-                    ),
-                    name="install_plan",
-                    parent=self._op_span,
-                )
-        await self.wait_quiescence()
-        return self._finish_op(start)
+        self.inject_plans(plans)
+        return await self.settle_operation(start)
 
     async def fib_update(
         self, device: str, mutate: Callable[[], None]
     ) -> float:
         """Apply one rule update at ``device``, verify incrementally."""
         start = self._begin_op(f"fib_update:{device}")
-        mutate()
-        host = self.hosts[device]
-        host.call(
-            host.verifier.on_fib_changed,
-            name="fib_changed",
-            parent=self._op_span,
-        )
-        await self.wait_quiescence()
-        return self._finish_op(start)
+        if not self.inject_fib_update(device, mutate):
+            raise KeyError(f"device {device!r} is not hosted locally")
+        return await self.settle_operation(start)
 
     async def burst_fib_event(self) -> float:
         start = self._begin_op("burst_fib_event")
@@ -639,39 +830,20 @@ class RuntimeCluster:
                 name="fib_changed",
                 parent=self._op_span,
             )
-        await self.wait_quiescence()
-        return self._finish_op(start)
+        return await self.settle_operation(start)
 
     async def fail_link(self, a: str, b: str) -> float:
         """Fail link (a, b): cut its TCP sessions, flood, recount."""
         start = self._begin_op(f"link_fail:{a}-{b}")
-        self._failed_links.add(_normalize(a, b))
-        self.hosts[a].sessions[b].disconnect()
-        self.hosts[b].sessions[a].disconnect()
-        for device in (a, b):
-            host = self.hosts[device]
-            host.call(
-                lambda v=host.verifier: v.on_link_event((a, b), up=False),
-                name="link_event",
-                parent=self._op_span,
-            )
-        await self.wait_quiescence()
-        return self._finish_op(start)
+        self.apply_link_event(a, b, up=False)
+        return await self.settle_operation(start)
 
     async def recover_link(self, a: str, b: str) -> float:
         """Recover link (a, b): redial, refresh sessions, recount."""
         start = self._begin_op(f"link_recover:{a}-{b}")
-        self._failed_links.discard(_normalize(a, b))
-        for device in (a, b):
-            host = self.hosts[device]
-            host.call(
-                lambda v=host.verifier: v.on_link_event((a, b), up=True),
-                name="link_event",
-                parent=self._op_span,
-            )
+        self.apply_link_event(a, b, up=True)
         await self.wait_session(a, b)
-        await self.wait_quiescence()
-        return self._finish_op(start)
+        return await self.settle_operation(start)
 
     async def drop_connection(
         self, a: str, b: str, hold_down: float = 0.0, reconnect: bool = True

@@ -28,7 +28,7 @@ import asyncio
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Awaitable, Callable, Dict, Optional, Tuple
 
 from repro.dvm.messages import (
     Message,
@@ -46,6 +46,13 @@ from repro.runtime.transport import (
 )
 
 logger = get_logger("runtime.connection")
+
+#: Opens the byte stream toward the peer.  The default dials TCP to
+#: ``peer_address()``; fleet workers substitute an in-process fast path
+#: (:func:`repro.runtime.fastpath.memory_pair`) for co-located peers.
+Connector = Callable[
+    [], Awaitable[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]
+]
 
 
 # ---------------------------------------------------------------------------
@@ -166,6 +173,7 @@ class PeerSession:
         backoff: Optional[BackoffPolicy] = None,
         rng: Optional[random.Random] = None,
         tracer: Optional[Tracer] = None,
+        connector: Optional[Connector] = None,
     ) -> None:
         self.device = device
         self.peer = peer
@@ -175,6 +183,7 @@ class PeerSession:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.active = active
         self.peer_address = peer_address
+        self.connector = connector
         self.keepalive_interval = keepalive_interval
         self.hold_time = keepalive_interval * hold_multiplier
         self.backoff = backoff or BackoffPolicy()
@@ -291,9 +300,14 @@ class PeerSession:
                         min(0.05, self.keepalive_interval / 2)
                     )
                     continue
-                host, port = self.peer_address()
                 try:
-                    reader, writer = await asyncio.open_connection(host, port)
+                    if self.connector is not None:
+                        reader, writer = await self.connector()
+                    else:
+                        host, port = self.peer_address()
+                        reader, writer = await asyncio.open_connection(
+                            host, port
+                        )
                 except (ConnectionError, OSError):
                     self._set_state("connect_fail", ST_DIALING)
                     await asyncio.sleep(self.backoff.delay(attempt, self.rng))

@@ -81,18 +81,30 @@ def chained_diamond(num_diamonds: int, latency: float = LAN_LATENCY) -> Topology
     return topology
 
 
-def fattree(k: int, latency: float = LAN_LATENCY) -> Topology:
+def fattree(
+    k: int, latency: float = LAN_LATENCY, hosts_per_edge: int = 0
+) -> Topology:
     """A k-ary fattree [Al-Fares et al., SIGCOMM'08].
 
     ``k`` pods, each with k/2 edge (ToR) and k/2 aggregation switches, plus
-    (k/2)^2 core switches.  Each ToR gets one external /24 prefix standing
-    for its rack subnet.  Device names: ``core_i``, ``agg_p_i``,
-    ``edge_p_i``.
+    (k/2)^2 core switches -- 5k^2/4 switches total, diameter 4.  Device
+    names: ``core_i``, ``agg_p_i``, ``edge_p_i``.
+
+    ``hosts_per_edge=0`` (default) models switches only: each ToR gets one
+    external /24 standing for its rack subnet.  With ``hosts_per_edge=h``
+    every ToR additionally connects ``h`` rack-host devices
+    (``host_p_i_j``) that run their own verifier agents -- the prefixes
+    move onto the hosts (one /24 each), the diameter grows to 6, and the
+    device count becomes ``5k^2/4 + h*k^2/2`` (``k=16, h=8`` gives the
+    1,024-host / 1,344-device flagship of the fleet scale sweep).
     """
     if k < 2 or k % 2:
         raise ValueError(f"fattree arity must be even and >= 2, got {k}")
+    if hosts_per_edge < 0:
+        raise ValueError(f"hosts_per_edge must be >= 0, got {hosts_per_edge}")
     half = k // 2
-    topology = Topology(f"ft-{k}")
+    name = f"ft-{k}" if not hosts_per_edge else f"ft-{k}h{hosts_per_edge}"
+    topology = Topology(name)
     cores = [f"core_{i}" for i in range(half * half)]
     for pod in range(k):
         for index in range(half):
@@ -106,9 +118,19 @@ def fattree(k: int, latency: float = LAN_LATENCY) -> Topology:
             for peer in range(half):
                 topology.add_link(edge, f"agg_{pod}_{peer}", latency)
             subnet = pod * half + index
-            topology.attach_prefix(
-                edge, f"10.{(subnet >> 8) & 0xFF}.{subnet & 0xFF}.0/24"
-            )
+            if hosts_per_edge:
+                for offset in range(hosts_per_edge):
+                    host = f"host_{pod}_{index}_{offset}"
+                    topology.add_link(edge, host, latency)
+                    rack = subnet * hosts_per_edge + offset
+                    topology.attach_prefix(
+                        host,
+                        f"10.{(rack >> 8) & 0xFF}.{rack & 0xFF}.0/24",
+                    )
+            else:
+                topology.attach_prefix(
+                    edge, f"10.{(subnet >> 8) & 0xFF}.{subnet & 0xFF}.0/24"
+                )
     return topology
 
 

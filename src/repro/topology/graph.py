@@ -195,6 +195,25 @@ class Topology:
         """Devices that have at least one external prefix attached (edges)."""
         return tuple(sorted(self._external_prefixes))
 
+    def retain_prefixes(self, owners: Iterable[str]) -> None:
+        """Drop external prefixes of every device not in ``owners``.
+
+        Workload pruning for scale sweeps: fewer destination prefixes
+        means proportionally fewer routes and invariants while the graph
+        itself (devices, links, diameter) stays intact.  Unknown names
+        in ``owners`` raise; owners without prefixes are allowed (a
+        no-op for them).
+        """
+        keep = set(owners)
+        unknown = sorted(keep - set(self._adjacency))
+        if unknown:
+            raise KeyError(f"unknown devices: {unknown}")
+        self._external_prefixes = {
+            device: prefixes
+            for device, prefixes in self._external_prefixes.items()
+            if device in keep
+        }
+
     def prefix_owner(self, cidr: str) -> Optional[str]:
         for device, prefixes in self._external_prefixes.items():
             if cidr in prefixes:

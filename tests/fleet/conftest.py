@@ -1,0 +1,31 @@
+"""Fleet test fixtures: event loop driver + collision-free port bases."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+
+@pytest.fixture()
+def run():
+    """Run a coroutine to completion with a generous safety deadline."""
+
+    def _run(coro, timeout=180.0):
+        return asyncio.run(asyncio.wait_for(coro, timeout))
+
+    return _run
+
+
+def port_base(salt: int) -> int:
+    """A per-process fleet port base; ``salt`` separates fleets.
+
+    Each fleet consumes ``CONTROL_SPAN + 2 * num_devices`` consecutive
+    ports (104 for a 2-worker ft4), so salts are spaced 1800 apart and
+    the pid offset keeps parallel CI shards off each other's ranges.
+    The whole scheme stays below 32768: listeners in the kernel's
+    ephemeral range can lose their port to any outgoing connection.
+    """
+    assert 0 <= salt <= 5
+    return 20000 + salt * 1800 + (os.getpid() % 16) * 150

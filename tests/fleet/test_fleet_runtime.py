@@ -1,0 +1,140 @@
+"""End-to-end fleet runtime: real worker processes over real sockets.
+
+These tests spawn actual ``python -m repro.fleet.worker`` subprocesses
+via the launcher, so they exercise the full stack: spec serialization,
+deterministic rebuild, the control protocol, cross-shard TCP sessions,
+federated quiescence and the telemetry federation.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cli import _fleet_simulator_parity
+from repro.fleet.launcher import FleetLauncher, WorkerCrashed
+from repro.fleet.spec import FleetSpec
+from repro.obs.collector import Collector
+
+from .conftest import port_base
+
+
+def _spec(salt: int, **overrides) -> FleetSpec:
+    fields = dict(
+        topology="ft4",
+        workers=2,
+        base_port=port_base(salt),
+        destinations=4,
+        ingresses=8,
+        keepalive_interval=0.25,
+        quiescence_grace=0.05,
+        settle_rounds=2,
+        op_timeout=60.0,
+    )
+    fields.update(overrides)
+    return FleetSpec(**fields)
+
+
+class TestFleetSmoke:
+    def test_two_worker_fleet_converges_with_simulator_parity(self, run):
+        spec = _spec(4)
+
+        async def drive():
+            launcher = FleetLauncher(spec)
+            try:
+                await launcher.start(ready_timeout=120.0)
+                install_seconds = await launcher.install_plans()
+                verdicts = await launcher.verdicts()
+                holds = launcher.holds(verdicts)
+                snapshot = await Collector(
+                    launcher.telemetry_targets()
+                ).scrape_once()
+            finally:
+                await launcher.stop()
+            exits = {
+                index: handle.process.poll()
+                for index, handle in launcher.workers.items()
+            }
+            return install_seconds, verdicts, holds, snapshot, exits
+
+        install_seconds, verdicts, holds, snapshot, exits = run(drive())
+        assert install_seconds > 0.0
+        assert len(holds) == 4 and all(holds.values())
+        # Every ingress row made it across the shard merge.
+        assert all(len(rows) >= 1 for rows in verdicts.values())
+        # The on-device fleet agrees with the centralized simulator.
+        assert _fleet_simulator_parity(spec, verdicts, 0, lambda _: None)
+        # Federated observability spans both workers' agents.
+        assert snapshot.state == "ok"
+        assert len(snapshot.samples) == 20
+        # Graceful drain: every worker exited cleanly, none were killed.
+        assert exits == {0: 0, 1: 0}
+
+
+class TestWorkerCrash:
+    def test_crash_is_detected_survivors_see_it_restart_reconverges(
+        self, run
+    ):
+        spec = _spec(5)
+
+        async def drive():
+            import asyncio
+
+            launcher = FleetLauncher(spec)
+            results = {}
+            try:
+                await launcher.start(ready_timeout=120.0)
+                await launcher.install_plans()
+
+                # SIGKILL one worker: no drain, sessions just go dark.
+                victim = launcher.workers[1].process
+                os.kill(victim.pid, signal.SIGKILL)
+                deadline = time.monotonic() + 10.0
+                while victim.poll() is None:
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.05)
+
+                with pytest.raises(WorkerCrashed) as crashed:
+                    launcher.check_alive()
+                results["crashed"] = crashed.value.workers
+
+                # The survivor's watchdogs notice the dead peer.
+                deadline = time.monotonic() + 30.0
+                while True:
+                    status = await launcher.call_worker(
+                        0, {"op": "status"}
+                    )
+                    if int(status["peer_down_events"]) > 0:  # type: ignore[arg-type]
+                        break
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.1)
+                results["survivor"] = status
+
+                # Restart re-binds the planned ports and re-establishes;
+                # reinstalling only on the restarted shard suffices (the
+                # survivors re-OPEN and resend their plan state).
+                await launcher.restart(1, ready_timeout=120.0)
+                results["reinstall_seconds"] = await launcher.run_operation(
+                    "fleet_reinstall", {"op": "install"}, only_worker=1
+                )
+                results["verdicts"] = await launcher.verdicts()
+            finally:
+                await launcher.stop()
+            return results
+
+        results = run(drive(), timeout=300.0)
+        assert results["crashed"] == [1]
+        survivor = results["survivor"]
+        assert int(survivor["peers_down"]) > 0
+        assert int(survivor["sessions_established"]) < 2 * 32 - 0
+        assert results["reinstall_seconds"] > 0.0
+        holds = {
+            plan_id: all(bool(row[1]) for row in rows)
+            for plan_id, rows in results["verdicts"].items()
+        }
+        assert len(holds) == 4 and all(holds.values())
+        # Post-restart fleet verdicts still match the simulator.
+        assert _fleet_simulator_parity(
+            spec, results["verdicts"], 0, lambda _: None
+        )

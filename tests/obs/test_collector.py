@@ -285,3 +285,56 @@ class TestLiveFleet:
                 await cluster.stop()
 
         run(scenario())
+
+
+class TestLateEndpoints:
+    def test_targets_registered_after_construction_are_scraped(self, run):
+        async def scenario():
+            agent = _FakeAgent()
+            await agent.server.start()
+            try:
+                collector = Collector([], launch_grace_seconds=30.0)
+                assert (await collector.scrape_once()).state == "empty"
+                collector.add_targets([agent.target])
+                collector.add_targets([agent.target])  # idempotent
+                snapshot = await collector.scrape_once()
+            finally:
+                await agent.server.stop()
+            return snapshot, collector
+
+        snapshot, collector = run(scenario())
+        assert len(collector.targets) == 1
+        assert snapshot.state == "ok"
+        assert snapshot.samples[0].device == "d0"
+
+    def test_unanswered_target_is_starting_within_launch_grace(self, run):
+        async def scenario():
+            agent = _FakeAgent()
+            await agent.server.start()
+            target = agent.target
+            await agent.server.stop()  # nothing listens there yet
+            collector = Collector(
+                [target], timeout=0.2, launch_grace_seconds=60.0
+            )
+            return await collector.scrape_once()
+
+        snapshot = run(scenario())
+        # A worker that has never answered is launch noise, not an
+        # incident: reported "starting", fleet not degraded.
+        assert snapshot.samples[0].status == "starting"
+        assert snapshot.state == "starting"
+
+    def test_grace_expires_into_unreachable(self, run):
+        async def scenario():
+            agent = _FakeAgent()
+            await agent.server.start()
+            target = agent.target
+            await agent.server.stop()
+            collector = Collector(
+                [target], timeout=0.2, launch_grace_seconds=0.0
+            )
+            return await collector.scrape_once()
+
+        snapshot = run(scenario())
+        assert snapshot.samples[0].status == "unreachable"
+        assert snapshot.state == "degraded"

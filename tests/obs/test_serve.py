@@ -219,3 +219,64 @@ class TestServeRegistry:
         run(scrape())
         thread.join(15.0)
         assert not thread.is_alive()
+
+
+class TestPlannedPortRetry:
+    def test_taken_port_shifts_within_the_window(self, run):
+        async def scenario():
+            registry = MetricsRegistry()
+            squatter = await _served(registry)  # holds an ephemeral port
+            server = TelemetryServer(
+                lambda: registry, port=squatter.port, port_retry_window=3
+            )
+            await server.start()
+            try:
+                # Bound one (or more) ports over, and reporting it back.
+                assert squatter.port < server.port <= squatter.port + 3
+                status, _ = await _get(server, "/healthz")
+                assert status == 200
+            finally:
+                await server.stop()
+                await squatter.stop()
+
+        run(scenario())
+
+    def test_exhausted_window_raises(self, run):
+        async def scenario():
+            registry = MetricsRegistry()
+            squatter = await _served(registry)
+            blockers = []
+            try:
+                # Occupy the retry window too.
+                for offset in (1, 2):
+                    blocker = TelemetryServer(
+                        lambda: registry, port=squatter.port + offset
+                    )
+                    await blocker.start()
+                    blockers.append(blocker)
+                server = TelemetryServer(
+                    lambda: registry,
+                    port=squatter.port,
+                    port_retry_window=2,
+                )
+                with pytest.raises(OSError):
+                    await server.start()
+            finally:
+                for blocker in blockers:
+                    await blocker.stop()
+                await squatter.stop()
+
+        run(scenario())
+
+    def test_ephemeral_request_never_retries(self, run):
+        async def scenario():
+            server = TelemetryServer(
+                lambda: MetricsRegistry(), port=0, port_retry_window=5
+            )
+            await server.start()
+            try:
+                assert server.port > 0
+            finally:
+                await server.stop()
+
+        run(scenario())

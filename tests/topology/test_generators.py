@@ -101,6 +101,42 @@ class TestFattree:
         assert topology.num_devices == 80  # 16 core + 32 agg + 32 edge
         assert topology.num_links == 256
 
+    def test_closed_forms_through_k16(self):
+        # 5k^2/4 switches, k^3/2 links, diameter 4 -- independent of k.
+        for k in (4, 6, 8, 16):
+            topology = fattree(k)
+            assert topology.num_devices == 5 * k * k // 4
+            assert topology.num_links == k ** 3 // 2
+            assert len(topology.devices_with_prefixes()) == k * k // 2
+        assert fattree(6).diameter_hops() == 4
+
+    def test_rack_hosts_move_the_prefixes_and_grow_the_diameter(self):
+        k, h = 4, 3
+        topology = fattree(k, hosts_per_edge=h)
+        assert topology.num_devices == 5 * k * k // 4 + h * k * k // 2
+        assert topology.num_links == k ** 3 // 2 + h * k * k // 2
+        owners = topology.devices_with_prefixes()
+        assert len(owners) == h * k * k // 2
+        assert all(owner.startswith("host_") for owner in owners)
+        # One distinct rack /24 per host, nothing left on the ToRs.
+        prefixes = {
+            cidr for owner in owners
+            for cidr in topology.external_prefixes(owner)
+        }
+        assert len(prefixes) == len(owners)
+        assert not topology.external_prefixes("edge_0_0")
+        assert topology.diameter_hops() == 6
+        assert topology.is_connected()
+
+    def test_flagship_host_count(self):
+        topology = fattree(16, hosts_per_edge=8)
+        assert topology.num_devices == 1344  # 320 switches + 1024 hosts
+        assert len(topology.devices_with_prefixes()) == 1024
+
+    def test_negative_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            fattree(4, hosts_per_edge=-1)
+
 
 class TestClos:
     def test_leaf_spine(self):

@@ -150,3 +150,30 @@ class TestFaultScene:
     def test_iteration_sorted(self):
         scene = FaultScene([("Z", "Y"), ("A", "B")])
         assert list(scene) == [("A", "B"), ("Y", "Z")]
+
+
+class TestRetainPrefixes:
+    def test_prunes_to_the_named_owners(self, square):
+        square.attach_prefix("A", "10.0.0.0/24")
+        square.attach_prefix("B", "10.0.1.0/24")
+        square.attach_prefix("C", "10.0.2.0/24")
+        square.retain_prefixes(["A", "C"])
+        assert square.devices_with_prefixes() == ("A", "C")
+        assert square.external_prefixes("B") == ()
+        assert square.external_prefixes("A") == ("10.0.0.0/24",)
+
+    def test_graph_structure_is_untouched(self, square):
+        square.attach_prefix("A", "10.0.0.0/24")
+        devices, links = square.num_devices, square.num_links
+        square.retain_prefixes([])
+        assert square.devices_with_prefixes() == ()
+        assert (square.num_devices, square.num_links) == (devices, links)
+
+    def test_owner_without_prefixes_is_a_noop(self, square):
+        square.attach_prefix("A", "10.0.0.0/24")
+        square.retain_prefixes(["A", "D"])  # D owns nothing: allowed
+        assert square.devices_with_prefixes() == ("A",)
+
+    def test_unknown_owner_rejected(self, square):
+        with pytest.raises(KeyError):
+            square.retain_prefixes(["A", "nope"])
