@@ -24,18 +24,45 @@ about behavior instead of text:
 * :mod:`repro.checkers.raceflow` -- flow-sensitive cross-``await``
   race detection over every coroutine (ASYNC006-008).
 
+The third tier is whole-program, same entry point:
+
+* :mod:`repro.checkers.callgraph` -- a module-resolving call graph
+  with fixpoint fact propagation: blocking calls reachable from
+  coroutines through sync helpers, locks held across transitive
+  event-loop waits, fire-and-forget tasks that can raise unobserved
+  (ASYNC009-011).
+* :mod:`repro.checkers.controlproto` -- the fleet launcher/worker
+  control-op vocabulary cross-checked against dispatch branches,
+  response schemas, timeouts, and the ``docs/RUNTIME.md`` table
+  (CTRL001-005).
+* :mod:`repro.checkers.modelcheck` again -- the launcher x worker
+  lifecycle product explored to a fixpoint (FSM005-006).
+
 Run via ``python -m repro lint`` / ``python -m repro verify-static``
 (see :mod:`repro.checkers.cli`) or the library APIs :func:`run_lint`
-and :func:`run_verify_static`.  The rule catalog with rationale and
+and :func:`run_verify_static`; ``--sarif`` emits SARIF 2.1.0 via
+:mod:`repro.checkers.sarif`.  The rule catalog with rationale and
 examples lives in ``docs/STATIC_ANALYSIS.md``.
 """
 
+from repro.checkers.callgraph import analyze_callgraph, summarize_module
+from repro.checkers.controlproto import (
+    check_control,
+    extract_control_surface,
+)
 from repro.checkers.engine import RULES, LintReport, lint_file, run_lint
 from repro.checkers.findings import Finding, parse_suppressions
 from repro.checkers.fsm import check_fsm_tables, extract_session_fsm
-from repro.checkers.modelcheck import check_model, explore_product
+from repro.checkers.modelcheck import (
+    check_fleet_model,
+    check_model,
+    explore_fleet,
+    explore_product,
+    extract_fleet_fsm,
+)
 from repro.checkers.protocol import check_protocol, extract_surface
 from repro.checkers.raceflow import check_raceflow
+from repro.checkers.sarif import sarif_document, write_sarif
 from repro.checkers.verifystatic import (
     VERIFY_RULES,
     VerifyReport,
@@ -48,15 +75,24 @@ __all__ = [
     "RULES",
     "VERIFY_RULES",
     "VerifyReport",
+    "analyze_callgraph",
+    "check_control",
+    "check_fleet_model",
     "check_fsm_tables",
     "check_model",
     "check_protocol",
     "check_raceflow",
+    "explore_fleet",
     "explore_product",
+    "extract_control_surface",
+    "extract_fleet_fsm",
     "extract_session_fsm",
     "extract_surface",
     "lint_file",
     "parse_suppressions",
     "run_lint",
     "run_verify_static",
+    "sarif_document",
+    "summarize_module",
+    "write_sarif",
 ]

@@ -4,9 +4,11 @@ Exit codes: 0 clean, 1 findings or unanalyzable files, 2 usage error.
 
 ``--github`` renders findings as GitHub Actions workflow commands
 (``::error file=...,line=...``) so CI surfaces them as inline PR
-annotations; ``--stats`` appends per-rule counts (active and
-suppressed) plus analysis wall time, the numbers BENCH files track
-across PRs.
+annotations; ``--sarif PATH`` writes the same findings as a SARIF
+2.1.0 file for GitHub code scanning; ``--select RULES`` (alias
+``--rule``) restricts the report to a comma-separated rule subset;
+``--stats`` appends per-rule counts (active and suppressed) plus
+analysis wall time, the numbers BENCH files track across PRs.
 """
 
 from __future__ import annotations
@@ -14,10 +16,70 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, TextIO
+from typing import FrozenSet, List, Optional, TextIO
 
-from repro.checkers.engine import LintReport, run_lint
-from repro.checkers.verifystatic import VerifyReport, run_verify_static
+from repro.checkers.engine import RULES, LintReport, run_lint
+from repro.checkers.sarif import write_sarif
+from repro.checkers.verifystatic import (
+    VERIFY_RULES,
+    VerifyReport,
+    run_verify_static,
+)
+
+
+def _add_select_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--select",
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULES",
+        dest="select",
+        help="only report these rule ids (comma-separated, repeatable)",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the findings as a SARIF 2.1.0 file",
+    )
+
+
+def _resolve_select(
+    values: Optional[List[str]], catalog: "dict[str, str]"
+) -> Optional[FrozenSet[str]]:
+    """The validated rule subset, or None for 'everything'.
+
+    Raises SystemExit-free: unknown ids raise ValueError so the command
+    can exit 2 with a usage message.
+    """
+    if not values:
+        return None
+    selected = {
+        rule.strip()
+        for chunk in values
+        for rule in chunk.split(",")
+        if rule.strip()
+    }
+    unknown = sorted(selected - set(catalog))
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(catalog))})"
+        )
+    return frozenset(selected)
+
+
+def _apply_select(report, selected: Optional[FrozenSet[str]]) -> None:
+    if selected is None:
+        return
+    report.findings = [
+        f for f in report.findings if f.rule in selected
+    ]
+    report.suppressed = [
+        f for f in report.suppressed if f.rule in selected
+    ]
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -54,6 +116,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="bypass the .repro-lint-cache/ finding cache",
     )
+    _add_select_args(parser)
 
 
 def render_report(
@@ -123,6 +186,19 @@ def configure_verify_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="emit findings as GitHub Actions ::error annotations",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="summarize/analyze files on N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the .repro-lint-cache/ finding cache",
+    )
+    _add_select_args(parser)
 
 
 def render_verify_report(
@@ -170,14 +246,33 @@ def render_verify_report(
             f"({liveness})",
             file=stream,
         )
+    if report.fleet_checked:
+        completion = (
+            "DONE/EXITED reachable"
+            if report.fleet_done_reachable
+            else "DONE/EXITED UNREACHABLE"
+        )
+        print(
+            "fleet model: explored "
+            f"{report.fleet_states_explored} product state(s) / "
+            f"{report.fleet_transitions_explored} transition(s) to "
+            f"fixpoint ({completion})",
+            file=stream,
+        )
 
     if stats:
         from repro.bench.reporting import print_table
 
         print_table("verify-static: per-rule statistics", report.stats_rows())
         print(
+            f"call graph: {report.functions_indexed} function(s) / "
+            f"{report.call_edges} resolved edge(s)",
+            file=stream,
+        )
+        print(
             f"analyzed {report.files_scanned} file(s) in "
-            f"{report.elapsed_seconds * 1e3:.1f} ms",
+            f"{report.elapsed_seconds * 1e3:.1f} ms "
+            f"({report.cache_hits} cache hit(s))",
             file=stream,
         )
 
@@ -194,7 +289,23 @@ def cmd_verify_static(args: argparse.Namespace) -> int:
     if missing:
         print(f"no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-    report = run_verify_static(paths)
+    try:
+        selected = _resolve_select(args.select, VERIFY_RULES)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = run_verify_static(
+        paths, jobs=max(1, args.jobs), cache=not args.no_cache
+    )
+    _apply_select(report, selected)
+    if args.sarif is not None:
+        write_sarif(
+            args.sarif,
+            report.findings,
+            report.errors,
+            VERIFY_RULES,
+            tool_name="repro-verify-static",
+        )
     render_verify_report(report, stats=args.stats, github=args.github)
     return 0 if report.clean else 1
 
@@ -205,12 +316,26 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if missing:
         print(f"no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
+    try:
+        selected = _resolve_select(args.select, RULES)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     report = run_lint(
         paths,
         protocol=not args.no_protocol,
         jobs=max(1, args.jobs),
         cache=not args.no_cache,
     )
+    _apply_select(report, selected)
+    if args.sarif is not None:
+        write_sarif(
+            args.sarif,
+            report.findings,
+            report.errors,
+            RULES,
+            tool_name="repro-lint",
+        )
     render_report(report, stats=args.stats, github=args.github)
     return 0 if report.clean else 1
 

@@ -1,0 +1,581 @@
+"""Fleet control-plane consistency rules (CTRL001-CTRL005).
+
+PR 6 added a second wire protocol: the JSON-lines control channel
+between :class:`~repro.fleet.launcher.FleetLauncher` and
+:class:`~repro.fleet.worker.FleetWorker`.  The PROTO rules keep the DVM
+frame vocabulary honest; these rules do the same for the control-op
+vocabulary, extracted purely by AST and cross-checked three ways:
+
+* **CTRL001** -- an op the launcher sends (a ``{"op": "..."}`` literal
+  handed to a send wrapper) has no ``if op == "...":`` dispatch branch
+  in ``FleetWorker._handle``: the worker will answer "unknown op".
+* **CTRL002** -- a worker dispatch branch answers an op the launcher
+  never sends: dead protocol surface that drifts silently.
+* **CTRL003** -- the launcher reads a response key (``resp["k"]`` /
+  ``resp.get("k")`` on a name bound to the send's result) that the
+  worker branch's response schema never returns.  The envelope keys
+  (``ok``/``error``, added by the control server) are exempt.
+* **CTRL004** -- an op is sent with no deadline: neither an explicit
+  ``timeout=`` at the call site nor a ``timeout`` parameter on the
+  send wrapper it goes through.
+* **CTRL005** -- the control-op table in ``docs/RUNTIME.md`` and the
+  dispatched vocabulary diverge, in either direction: an undocumented
+  op, or a documented op that no longer exists.
+
+Like the PROTO/FSM checkers, ``overrides`` maps repo-relative paths to
+replacement source text so drift tests can mutate one side without
+touching disk; ``docs/RUNTIME.md`` overrides carry raw markdown.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.checkers.findings import Finding
+
+__all__ = [
+    "CONTROL_DOC_PATH",
+    "ControlSurface",
+    "LAUNCHER_PATH",
+    "WORKER_PATH",
+    "check_control",
+    "check_control_surface",
+    "extract_control_surface",
+]
+
+#: Repo-relative paths of the three sides of the control protocol.
+LAUNCHER_PATH = Path("src/repro/fleet/launcher.py")
+WORKER_PATH = Path("src/repro/fleet/worker.py")
+CONTROL_MODULE_PATH = Path("src/repro/fleet/control.py")
+CONTROL_DOC_PATH = Path("docs/RUNTIME.md")
+
+#: The worker method dispatching control ops.
+HANDLER_METHOD = "_handle"
+
+#: Response keys injected by the control-server envelope, never by a
+#: dispatch branch (see repro/fleet/control.py).
+ENVELOPE_KEYS = frozenset({"ok", "error"})
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class SendSite:
+    """One launcher-side ``{"op": ...}`` literal handed to a wrapper."""
+
+    op: str
+    line: int
+    col: int
+    wrapper: str
+    has_timeout_kw: bool
+
+
+@dataclass
+class ControlSurface:
+    """Everything extracted from launcher + worker + RUNTIME.md."""
+
+    #: op -> send sites (launcher side).
+    sent: Dict[str, List[SendSite]] = field(default_factory=dict)
+    #: op -> response key -> first line the launcher reads it.
+    expected: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: op -> dispatch-branch line (worker side).
+    dispatch: Dict[str, int] = field(default_factory=dict)
+    #: op -> branch response keys (None = schema not statically known).
+    responses: Dict[str, Optional[Set[str]]] = field(default_factory=dict)
+    #: wrapper function name -> its signature carries a timeout param.
+    wrappers: Dict[str, bool] = field(default_factory=dict)
+    #: op -> row line in the RUNTIME.md control-op table.
+    doc_ops: Dict[str, int] = field(default_factory=dict)
+    #: Header line of the doc table (None = no table found).
+    doc_table_line: Optional[int] = None
+
+
+def _parse_source(
+    root: Path, relative: Path, overrides: Dict[str, str]
+) -> Optional[ast.Module]:
+    key = str(relative)
+    if key in overrides:
+        return ast.parse(overrides[key], filename=key)
+    path = root / relative
+    if not path.is_file():
+        return None
+    return ast.parse(path.read_text(encoding="utf-8"), filename=key)
+
+
+def _read_text(
+    root: Path, relative: Path, overrides: Dict[str, str]
+) -> Optional[str]:
+    key = str(relative)
+    if key in overrides:
+        return overrides[key]
+    path = root / relative
+    if not path.is_file():
+        return None
+    return path.read_text(encoding="utf-8")
+
+
+def _functions(module: ast.Module) -> List[FunctionNode]:
+    """Every function/method in the module, in source order."""
+    found: List[FunctionNode] = []
+    for node in ast.walk(module):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            found.append(node)
+    found.sort(key=lambda fn: fn.lineno)
+    return found
+
+
+def _literal_op(call: ast.Call) -> Optional[Tuple[str, ast.Call]]:
+    """The op string when one argument is a ``{"op": "..."}`` literal."""
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        if not isinstance(arg, ast.Dict):
+            continue
+        for key, value in zip(arg.keys, arg.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "op"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                return value.value, call
+    return None
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _unwrap_await(node: Optional[ast.expr]) -> Optional[ast.expr]:
+    if isinstance(node, ast.Await):
+        return node.value
+    return node
+
+
+def _collect_sends(
+    launcher: ast.Module,
+) -> Tuple[Dict[str, List[SendSite]], Dict[str, Dict[str, int]]]:
+    """Send sites plus the response keys the launcher reads per op."""
+    sent: Dict[str, List[SendSite]] = {}
+    expected: Dict[str, Dict[str, int]] = {}
+    for fn in _functions(launcher):
+        site_ops: Dict[int, str] = {}
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            found = _literal_op(node)
+            if found is None:
+                continue
+            op, call = found
+            wrapper = _terminal(call.func) or "<unknown>"
+            has_timeout = any(
+                kw.arg == "timeout" for kw in call.keywords
+            )
+            sent.setdefault(op, []).append(
+                SendSite(
+                    op=op,
+                    line=call.lineno,
+                    col=call.col_offset + 1,
+                    wrapper=wrapper,
+                    has_timeout_kw=has_timeout,
+                )
+            )
+            site_ops[id(call)] = op
+        if not site_ops:
+            continue
+
+        # Data flow: names bound (directly or via iteration) to a
+        # send's result; only keys read off those names count as the
+        # launcher's expectations for that op.
+        bound: Dict[str, str] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                value = _unwrap_await(node.value)
+                if (
+                    isinstance(value, ast.Call)
+                    and id(value) in site_ops
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    bound[node.targets[0].id] = site_ops[id(value)]
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                value = _unwrap_await(node.iter)
+                if (
+                    isinstance(value, ast.Call)
+                    and id(value) in site_ops
+                    and isinstance(node.target, ast.Name)
+                ):
+                    bound[node.target.id] = site_ops[id(value)]
+        # Second order: iterating over a bound list binds the loop
+        # variable to the same op (``for s in statuses``).
+        for node in ast.walk(fn):
+            iters: List[Tuple[ast.expr, ast.expr]] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append((node.target, node.iter))
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                for comp in node.generators:
+                    iters.append((comp.target, comp.iter))
+            for target, source in iters:
+                if (
+                    isinstance(source, ast.Name)
+                    and source.id in bound
+                    and isinstance(target, ast.Name)
+                ):
+                    bound.setdefault(target.id, bound[source.id])
+
+        for node in ast.walk(fn):
+            key: Optional[str] = None
+            owner: Optional[str] = None
+            line = getattr(node, "lineno", 0)
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                owner = node.func.value.id
+                key = node.args[0].value
+            elif (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                owner = node.value.id
+                key = node.slice.value
+            if key is None or owner not in bound:
+                continue
+            if key in ENVELOPE_KEYS:
+                continue
+            expected.setdefault(bound[owner], {}).setdefault(key, line)
+    return sent, expected
+
+
+def _collect_wrappers(modules: List[ast.Module]) -> Dict[str, bool]:
+    """``function name -> signature has a 'timeout' parameter``."""
+    wrappers: Dict[str, bool] = {}
+    for module in modules:
+        for fn in _functions(module):
+            names = [arg.arg for arg in fn.args.args]
+            names += [arg.arg for arg in fn.args.kwonlyargs]
+            wrappers[fn.name] = wrappers.get(fn.name, False) or (
+                "timeout" in names
+            )
+    return wrappers
+
+
+def _return_dict_keys(body: List[ast.stmt]) -> Optional[Set[str]]:
+    """Union of literal-dict return keys in ``body`` (None = opaque)."""
+    keys: Set[str] = set()
+    saw_return = False
+    opaque = False
+    for node in body:
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Return) or child.value is None:
+                continue
+            saw_return = True
+            if isinstance(child.value, ast.Dict):
+                for key in child.value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        keys.add(key.value)
+                    else:
+                        opaque = True
+            else:
+                opaque = True
+    if opaque or not saw_return:
+        return None
+    return keys
+
+
+def _collect_dispatch(
+    worker: ast.Module,
+) -> Tuple[Dict[str, int], Dict[str, Optional[Set[str]]]]:
+    """Dispatch branches of ``_handle`` and their response schemas."""
+    dispatch: Dict[str, int] = {}
+    responses: Dict[str, Optional[Set[str]]] = {}
+    handler: Optional[FunctionNode] = None
+    owner: Optional[ast.ClassDef] = None
+    for node in ast.walk(worker):
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if (
+                    isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    and child.name == HANDLER_METHOD
+                ):
+                    handler, owner = child, node
+    if handler is None or owner is None:
+        return dispatch, responses
+    methods = {
+        child.name: child
+        for child in owner.body
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if not (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "op"
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and isinstance(test.comparators[0].value, str)
+        ):
+            continue
+        op = test.comparators[0].value
+        dispatch[op] = node.lineno
+        keys = _return_dict_keys(node.body)
+        if keys is None:
+            # A branch delegating to one helper method inherits that
+            # method's literal return schema (``return self._status()``).
+            for child in node.body:
+                for sub in ast.walk(child):
+                    if (
+                        isinstance(sub, ast.Return)
+                        and isinstance(sub.value, ast.Call)
+                        and isinstance(sub.value.func, ast.Attribute)
+                        and isinstance(sub.value.func.value, ast.Name)
+                        and sub.value.func.value.id == "self"
+                        and sub.value.func.attr in methods
+                    ):
+                        keys = _return_dict_keys(
+                            methods[sub.value.func.attr].body
+                        )
+        responses[op] = keys
+    return dispatch, responses
+
+
+def _collect_doc_ops(
+    text: str,
+) -> Tuple[Dict[str, int], Optional[int]]:
+    """Rows of the first markdown table whose leading header cell is `op`."""
+    doc_ops: Dict[str, int] = {}
+    table_line: Optional[int] = None
+    in_table = False
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line.startswith("|"):
+            in_table = False
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if not cells:
+            continue
+        first = cells[0].strip("`").strip()
+        if not in_table:
+            if table_line is None and first == "op":
+                table_line = number
+                in_table = True
+            continue
+        if set(first) <= {"-", ":", " "}:
+            continue  # the |---|---| separator row
+        if first:
+            doc_ops.setdefault(first, number)
+    return doc_ops, table_line
+
+
+def extract_control_surface(
+    root: Path, overrides: Optional[Dict[str, str]] = None
+) -> Optional[ControlSurface]:
+    """Extract all three sides; None when the fleet modules are absent."""
+    overrides = overrides or {}
+    launcher = _parse_source(root, LAUNCHER_PATH, overrides)
+    worker = _parse_source(root, WORKER_PATH, overrides)
+    if launcher is None or worker is None:
+        return None
+    surface = ControlSurface()
+    surface.sent, surface.expected = _collect_sends(launcher)
+    surface.dispatch, surface.responses = _collect_dispatch(worker)
+    wrapper_modules = [launcher]
+    control = _parse_source(root, CONTROL_MODULE_PATH, overrides)
+    if control is not None:
+        wrapper_modules.append(control)
+    surface.wrappers = _collect_wrappers(wrapper_modules)
+    doc = _read_text(root, CONTROL_DOC_PATH, overrides)
+    if doc is not None:
+        surface.doc_ops, surface.doc_table_line = _collect_doc_ops(doc)
+    return surface
+
+
+def check_control_surface(surface: ControlSurface) -> List[Finding]:
+    """CTRL001-CTRL005 over one extracted surface."""
+    findings: List[Finding] = []
+    launcher = str(LAUNCHER_PATH)
+    worker = str(WORKER_PATH)
+    doc = str(CONTROL_DOC_PATH)
+
+    # CTRL001: sent but never dispatched.
+    for op in sorted(surface.sent):
+        if op in surface.dispatch:
+            continue
+        site = surface.sent[op][0]
+        findings.append(
+            Finding(
+                path=launcher,
+                line=site.line,
+                col=site.col,
+                rule="CTRL001",
+                message=(
+                    f"control op '{op}' is sent by FleetLauncher but "
+                    f"FleetWorker.{HANDLER_METHOD} has no dispatch "
+                    "branch for it"
+                ),
+                hint=(
+                    f"add an `if op == \"{op}\":` branch to the worker, "
+                    "or drop the dead send"
+                ),
+            )
+        )
+
+    # CTRL002: dispatched but never sent.
+    for op in sorted(surface.dispatch):
+        if op in surface.sent:
+            continue
+        findings.append(
+            Finding(
+                path=worker,
+                line=surface.dispatch[op],
+                col=1,
+                rule="CTRL002",
+                message=(
+                    f"dispatch branch for control op '{op}' is dead: "
+                    "FleetLauncher never sends it"
+                ),
+                hint=(
+                    "wire a launcher-side sender for the op, or delete "
+                    "the branch (and its RUNTIME.md row)"
+                ),
+            )
+        )
+
+    # CTRL003: launcher expects a key the branch never returns.
+    for op in sorted(surface.expected):
+        schema = surface.responses.get(op)
+        if schema is None:
+            continue  # branch absent (CTRL001) or schema opaque
+        for key in sorted(surface.expected[op]):
+            if key in schema:
+                continue
+            findings.append(
+                Finding(
+                    path=launcher,
+                    line=surface.expected[op][key],
+                    col=1,
+                    rule="CTRL003",
+                    message=(
+                        f"launcher reads key '{key}' from the '{op}' "
+                        "response but the worker branch never returns "
+                        f"it (schema: {sorted(schema)})"
+                    ),
+                    hint=(
+                        "add the key to the worker branch's response "
+                        "dict, or fix the launcher-side reader"
+                    ),
+                )
+            )
+
+    # CTRL004: send without a deadline.
+    for op in sorted(surface.sent):
+        for site in surface.sent[op]:
+            if site.has_timeout_kw:
+                continue
+            if surface.wrappers.get(site.wrapper, False):
+                continue
+            findings.append(
+                Finding(
+                    path=launcher,
+                    line=site.line,
+                    col=site.col,
+                    rule="CTRL004",
+                    message=(
+                        f"control op '{op}' is sent through "
+                        f"'{site.wrapper}' with no timeout: neither the "
+                        "call site nor the wrapper signature carries a "
+                        "deadline"
+                    ),
+                    hint=(
+                        "pass timeout= at the send site, or give the "
+                        "wrapper a timeout parameter with a default"
+                    ),
+                )
+            )
+
+    # CTRL005: dispatched vocabulary vs the RUNTIME.md table.
+    if surface.doc_table_line is None:
+        findings.append(
+            Finding(
+                path=doc,
+                line=1,
+                col=1,
+                rule="CTRL005",
+                message=(
+                    "no control-op table found in docs/RUNTIME.md (a "
+                    "markdown table whose first header cell is 'op')"
+                ),
+                hint=(
+                    "document the control vocabulary as a table so "
+                    "drift in either direction is machine-checked"
+                ),
+            )
+        )
+    else:
+        for op in sorted(surface.dispatch):
+            if op in surface.doc_ops:
+                continue
+            findings.append(
+                Finding(
+                    path=doc,
+                    line=surface.doc_table_line,
+                    col=1,
+                    rule="CTRL005",
+                    message=(
+                        f"control op '{op}' is dispatched by the worker "
+                        "but has no row in the docs/RUNTIME.md "
+                        "control-op table"
+                    ),
+                    hint="add the op's row to the table",
+                )
+            )
+        for op in sorted(surface.doc_ops):
+            if op in surface.dispatch:
+                continue
+            findings.append(
+                Finding(
+                    path=doc,
+                    line=surface.doc_ops[op],
+                    col=1,
+                    rule="CTRL005",
+                    message=(
+                        f"docs/RUNTIME.md documents control op '{op}' "
+                        "but the worker dispatches no such branch"
+                    ),
+                    hint="delete the stale row, or restore the op",
+                )
+            )
+    return sorted(findings)
+
+
+def check_control(
+    root: Path, overrides: Optional[Dict[str, str]] = None
+) -> List[Finding]:
+    """Extract + check in one call (None surface -> no findings)."""
+    surface = extract_control_surface(root, overrides)
+    if surface is None:
+        return []
+    return check_control_surface(surface)

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 output for repro-lint / verify-static findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: ``repro lint --sarif out.sarif`` produces one run
+whose ``tool.driver.rules`` section carries the rule catalog and whose
+``results`` carry every finding with a physical location, so findings
+appear in the repository's Security tab and as PR annotations when the
+file is uploaded (CI stores it as a build artifact).
+
+Only the stdlib ``json`` module is used, and the document is built from
+plain dicts -- there is deliberately no schema dependency to install.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.checkers.findings import Finding
+
+__all__ = ["sarif_document", "write_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "https://example.invalid/repro/docs/STATIC_ANALYSIS.md"
+
+
+def sarif_document(
+    findings: Sequence[Finding],
+    errors: Sequence[str],
+    rules: Dict[str, str],
+    *,
+    tool_name: str = "repro-lint",
+) -> Dict[str, object]:
+    """One SARIF 2.1.0 run over ``findings`` with the given rule catalog."""
+    rule_ids = sorted(rules)
+    rule_index = {rule: index for index, rule in enumerate(rule_ids)}
+    driver_rules: List[Dict[str, object]] = [
+        {
+            "id": rule,
+            "shortDescription": {"text": rules[rule]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rule_ids
+    ]
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        message = finding.message
+        if finding.hint:
+            message = f"{message} (hint: {finding.hint})"
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(finding.path).as_posix()
+                        },
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": max(1, finding.col),
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    notifications = [
+        {"level": "error", "message": {"text": error}} for error in errors
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": _INFO_URI,
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not errors,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: Path,
+    findings: Sequence[Finding],
+    errors: Sequence[str],
+    rules: Dict[str, str],
+    *,
+    tool_name: str = "repro-lint",
+) -> None:
+    """Serialize :func:`sarif_document` to ``path`` (UTF-8, stable keys)."""
+    document = sarif_document(
+        findings, errors, rules, tool_name=tool_name
+    )
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

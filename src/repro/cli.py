@@ -719,7 +719,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"({lint_stats['cache_hits']} cache hits, "
                 f"{lint_stats['suppressed']} suppressed); verify-static "
                 f"{verify_stats['elapsed_seconds'] * 1e3:.1f} ms, "
-                f"{verify_stats['states_explored']} product states"
+                f"{verify_stats['states_explored']} session + "
+                f"{verify_stats['fleet_states_explored']} fleet product "
+                "states"
             )
         if args.out:
             print(f"wrote {args.out}")
@@ -782,11 +784,17 @@ def _analyzer_stats() -> dict:
         "verify_static": {
             "files_scanned": verify.files_scanned,
             "elapsed_seconds": verify.elapsed_seconds,
+            "cache_hits": verify.cache_hits,
             "findings": len(verify.findings),
             "suppressed": len(verify.suppressed),
             "states_explored": verify.states_explored,
             "transitions_explored": verify.transitions_explored,
             "established_reachable": verify.established_reachable,
+            "fleet_states_explored": verify.fleet_states_explored,
+            "fleet_transitions_explored": verify.fleet_transitions_explored,
+            "fleet_done_reachable": verify.fleet_done_reachable,
+            "functions_indexed": verify.functions_indexed,
+            "call_edges": verify.call_edges,
             "rules": verify.stats_rows(),
         },
     }

@@ -43,6 +43,43 @@ __all__ = ["FleetError", "FleetLauncher", "WorkerCrashed"]
 
 logger = get_logger("fleet.launcher")
 
+#: Declared launcher lifecycle.  The table is the spec: spawn ->
+#: wait-ready handshake -> operation windows, the stop-op -> SIGTERM ->
+#: SIGKILL escalation of :meth:`FleetLauncher.stop`, and the
+#: crash-detected/restart recovery loop.  ``repro.checkers.modelcheck``
+#: BFS-explores its product with the worker's ``WORKER_TRANSITIONS``
+#: on every ``repro verify-static`` run (rules FSM005/FSM006).
+LAUNCHER_STATES = (
+    "INIT",
+    "WAITING",
+    "RUNNING",
+    "OPERATING",
+    "RECOVERING",
+    "STOPPING",
+    "TERMINATING",
+    "KILLING",
+    "DONE",
+)
+LAUNCHER_TRANSITIONS: Dict[Tuple[str, str], str] = {
+    ("INIT", "spawn"): "WAITING",
+    ("WAITING", "workers_ready"): "RUNNING",
+    ("WAITING", "crash_detected"): "RECOVERING",
+    ("WAITING", "stop"): "STOPPING",
+    ("RUNNING", "op_begin"): "OPERATING",
+    ("RUNNING", "crash_detected"): "RECOVERING",
+    ("RUNNING", "stop"): "STOPPING",
+    ("OPERATING", "op_finish"): "RUNNING",
+    ("OPERATING", "crash_detected"): "RECOVERING",
+    ("OPERATING", "stop"): "STOPPING",
+    ("RECOVERING", "restart"): "WAITING",
+    ("RECOVERING", "stop"): "STOPPING",
+    ("STOPPING", "grace_elapsed"): "TERMINATING",
+    ("STOPPING", "workers_exited"): "DONE",
+    ("TERMINATING", "grace_elapsed"): "KILLING",
+    ("TERMINATING", "workers_exited"): "DONE",
+    ("KILLING", "workers_exited"): "DONE",
+}
+
 
 class FleetError(RuntimeError):
     """A fleet-level orchestration failure."""
@@ -151,10 +188,15 @@ class FleetLauncher:
             handle.write(self.spec.to_json())
 
     async def start(self, ready_timeout: float = 120.0) -> None:
-        """Write the spec, spawn every worker, wait until all are ready."""
-        self._write_spec()
+        """Write the spec, spawn every worker, wait until all are ready.
+
+        Spec write and process spawns touch the filesystem, so they run
+        in the default executor instead of blocking the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._write_spec)
         for index in range(self.spec.workers):
-            self._spawn(index)
+            await loop.run_in_executor(None, self._spawn, index)
         await self.wait_ready(ready_timeout)
 
     async def wait_ready(
@@ -194,7 +236,8 @@ class FleetLauncher:
         handle = self.workers.get(index)
         if handle is not None and handle.process.poll() is None:
             raise FleetError(f"worker {index} is still running")
-        self._spawn(index)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._spawn, index)
         await self.wait_ready(ready_timeout, indices=[index])
 
     async def stop(self, grace: float = 10.0) -> None:
@@ -386,6 +429,21 @@ class FleetLauncher:
         return totals
 
     # -- observability federation ------------------------------------------
+
+    async def endpoints(self) -> Dict[str, Tuple[str, int]]:
+        """Live ``device -> (host, port)`` telemetry map, fleet-wide.
+
+        Unlike :meth:`telemetry_targets` (the *planned* addresses) this
+        asks every worker what it actually bound.
+        """
+        merged: Dict[str, Tuple[str, int]] = {}
+        for response in await self.broadcast({"op": "endpoints"}):
+            http = response.get("http")
+            if not isinstance(http, dict):
+                continue
+            for device, address in sorted(http.items()):
+                merged[device] = (str(address[0]), int(address[1]))
+        return merged
 
     def telemetry_targets(self) -> List[Tuple[str, int]]:
         """Every agent's planned (host, port) telemetry address."""

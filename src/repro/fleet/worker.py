@@ -31,7 +31,7 @@ import argparse
 import asyncio
 import signal
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.bench.workloads import RuleUpdate
 from repro.fleet.control import ControlServer
@@ -47,6 +47,47 @@ from repro.runtime.cluster import RuntimeCluster
 __all__ = ["FleetWorker", "main"]
 
 logger = get_logger("fleet.worker")
+
+#: Declared worker lifecycle, the peer machine of the launcher's
+#: ``LAUNCHER_TRANSITIONS``: boot -> session establishment -> op
+#: windows, graceful drain on a ``stop`` op or SIGTERM, hard exit on
+#: SIGKILL, and the crash/respawn edge driven by the launcher's
+#: :meth:`~repro.fleet.launcher.FleetLauncher.restart`.  Explored by
+#: ``repro.checkers.modelcheck`` (rules FSM005/FSM006).
+WORKER_STATES = (
+    "BOOT",
+    "ESTABLISHING",
+    "READY",
+    "IN_OP",
+    "DRAINING",
+    "CRASHED",
+    "EXITED",
+)
+WORKER_TRANSITIONS: Dict[Tuple[str, str], str] = {
+    ("BOOT", "control_up"): "ESTABLISHING",
+    ("BOOT", "sigterm"): "DRAINING",
+    ("BOOT", "sigkill"): "EXITED",
+    ("BOOT", "crash"): "CRASHED",
+    ("ESTABLISHING", "established"): "READY",
+    ("ESTABLISHING", "stop_op"): "DRAINING",
+    ("ESTABLISHING", "sigterm"): "DRAINING",
+    ("ESTABLISHING", "sigkill"): "EXITED",
+    ("ESTABLISHING", "crash"): "CRASHED",
+    ("READY", "begin"): "IN_OP",
+    ("READY", "stop_op"): "DRAINING",
+    ("READY", "sigterm"): "DRAINING",
+    ("READY", "sigkill"): "EXITED",
+    ("READY", "crash"): "CRASHED",
+    ("IN_OP", "finish"): "READY",
+    ("IN_OP", "stop_op"): "DRAINING",
+    ("IN_OP", "sigterm"): "DRAINING",
+    ("IN_OP", "sigkill"): "EXITED",
+    ("IN_OP", "crash"): "CRASHED",
+    ("DRAINING", "drained"): "EXITED",
+    ("DRAINING", "sigkill"): "EXITED",
+    ("DRAINING", "crash"): "CRASHED",
+    ("CRASHED", "respawn"): "BOOT",
+}
 
 
 class FleetWorker:

@@ -1,0 +1,209 @@
+"""Tier-3 call-graph rules (ASYNC009-011): blocking reachability
+through sync helpers, locks across transitive event-loop waits, and
+fire-and-forget tasks that can raise unobserved.
+
+Every test builds its whole program inline: each source string becomes
+one :class:`ModuleSummary` via :func:`summarize_module` and the set is
+handed to :func:`analyze_callgraph` -- nothing is imported or executed.
+"""
+
+import textwrap
+
+from repro.checkers import analyze_callgraph, summarize_module
+
+
+def _analyze(sources):
+    """sources: {module_name: source} -> (flat findings, report)."""
+    summaries = [
+        summarize_module(textwrap.dedent(src), f"{name}.py", name)
+        for name, src in sources.items()
+    ]
+    report = analyze_callgraph(summaries)
+    flat = [f for per_file in report.findings.values() for f in per_file]
+    return flat, report
+
+
+def _rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+# -- ASYNC009: blocking call reachable through sync helpers ------------------
+
+
+def test_async009_blocking_reachable_through_sync_chain():
+    findings, report = _analyze(
+        {
+            "prog": """
+            import time
+
+            def low():
+                time.sleep(1)
+
+            def mid():
+                low()
+
+            async def top():
+                mid()
+            """
+        }
+    )
+    assert _rules(findings) == ["ASYNC009"]
+    (finding,) = findings
+    assert "blocking call 'time.sleep'" in finding.message
+    assert "'async def top'" in finding.message
+    # The full helper chain is spelled out, hop by hop.
+    assert "low" in finding.message and "->" in finding.message
+    assert report.functions_indexed == 3
+    assert report.call_edges >= 2
+
+
+def test_async009_crosses_module_boundaries():
+    findings, _report = _analyze(
+        {
+            "app": """
+            from helpers import helper
+
+            async def entry():
+                helper()
+            """,
+            "helpers": """
+            import time
+
+            def helper():
+                time.sleep(0.5)
+            """,
+        }
+    )
+    assert _rules(findings) == ["ASYNC009"]
+    (finding,) = findings
+    assert finding.path == "app.py"
+    assert "helpers.py" in finding.message  # chain names the callee's file
+
+
+def test_async009_negative_await_chain_and_executor():
+    findings, _report = _analyze(
+        {
+            "prog": """
+            import asyncio
+            import time
+
+            def low():
+                time.sleep(1)
+
+            async def alow():
+                await asyncio.sleep(1)
+
+            async def top():
+                await alow()
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, low)
+            """
+        }
+    )
+    assert findings == []
+
+
+# -- ASYNC010: lock held across a transitive event-loop wait -----------------
+
+
+def test_async010_lock_across_transitive_loop_wait():
+    findings, _report = _analyze(
+        {
+            "prog": """
+            import asyncio
+            import threading
+
+            _lock = threading.Lock()
+
+            async def coro():
+                return 1
+
+            def waiter():
+                loop = asyncio.new_event_loop()
+                loop.run_until_complete(coro())
+
+            def critical():
+                with _lock:
+                    waiter()
+            """
+        }
+    )
+    assert "ASYNC010" in _rules(findings)
+    finding = next(f for f in findings if f.rule == "ASYNC010")
+    assert "lock '_lock'" in finding.message
+    assert "held across an event-loop wait" in finding.message
+    assert "critical" in finding.message
+
+
+def test_async010_negative_lock_released_before_wait():
+    findings, _report = _analyze(
+        {
+            "prog": """
+            import asyncio
+            import threading
+
+            _lock = threading.Lock()
+
+            async def coro():
+                return 1
+
+            def waiter():
+                loop = asyncio.new_event_loop()
+                loop.run_until_complete(coro())
+
+            def fine():
+                with _lock:
+                    value = 1
+                waiter()
+                return value
+            """
+        }
+    )
+    assert [f for f in findings if f.rule == "ASYNC010"] == []
+
+
+# -- ASYNC011: fire-and-forget task whose coroutine can raise ----------------
+
+
+def test_async011_dropped_handle_on_raising_coroutine():
+    findings, _report = _analyze(
+        {
+            "prog": """
+            import asyncio
+
+            async def worker():
+                raise RuntimeError("boom")
+
+            async def main():
+                asyncio.create_task(worker())
+            """
+        }
+    )
+    assert _rules(findings) == ["ASYNC011"]
+    (finding,) = findings
+    assert "task spawned on 'worker' can raise" in finding.message
+    assert "dropped outright" in finding.message
+
+
+def test_async011_negative_awaited_handle_or_quiet_coroutine():
+    findings, _report = _analyze(
+        {
+            "prog": """
+            import asyncio
+
+            async def worker():
+                raise RuntimeError("boom")
+
+            async def quiet():
+                return 1
+
+            async def awaited():
+                task = asyncio.create_task(worker())
+                await task
+
+            async def harmless():
+                asyncio.create_task(quiet())
+            """
+        }
+    )
+    assert findings == []

@@ -1,9 +1,12 @@
-"""``python -m repro lint`` front end: exit codes, --stats, --github."""
+"""``python -m repro lint`` front end: exit codes, --stats, --github,
+--select/--rule filtering, and --sarif output."""
 
+import json
 import subprocess
 import sys
 from pathlib import Path
 
+from repro.checkers import RULES
 from repro.checkers.cli import main as lint_main
 from repro.cli import main as repro_main
 
@@ -67,6 +70,43 @@ def test_no_protocol_flag_skips_cross_file_rules(capsys):
     # for linting trees that are not this repo.
     assert repro_main(["lint", "--no-protocol", str(ROOT / "src")]) == 0
     capsys.readouterr()
+
+
+def test_select_filters_out_other_rules(capsys):
+    # BAD_FILE's only finding is EXC001; selecting a different rule
+    # leaves nothing to report, so the run is clean.
+    assert repro_main(["lint", str(BAD_FILE), "--select", "HYG001"]) == 0
+    out = capsys.readouterr().out
+    assert "EXC001" not in out
+
+
+def test_select_keeps_matching_rules(capsys):
+    assert repro_main(["lint", str(BAD_FILE), "--rule", "EXC001"]) == 1
+    assert "EXC001" in capsys.readouterr().out
+
+
+def test_select_unknown_rule_exits_two(capsys):
+    assert repro_main(["lint", str(BAD_FILE), "--select", "NOPE001"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id(s): NOPE001" in err
+    assert "EXC001" in err  # the known catalog is listed back
+
+
+def test_sarif_output_carries_catalog_and_locations(tmp_path, capsys):
+    out_file = tmp_path / "findings.sarif"
+    assert repro_main(["lint", str(BAD_FILE), "--sarif", str(out_file)]) == 1
+    capsys.readouterr()
+    doc = json.loads(out_file.read_text(encoding="utf-8"))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(RULES)
+    result = next(r for r in run["results"] if r["ruleId"] == "EXC001")
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("exc001_swallow.py")
+    assert location["region"]["startLine"] >= 1
+    assert "hint:" in result["message"]["text"]
+    assert run["invocations"][0]["executionSuccessful"] is True
 
 
 def test_standalone_entry_point(capsys):

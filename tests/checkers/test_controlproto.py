@@ -1,0 +1,127 @@
+"""Fleet control-plane drift rules (CTRL001-005).
+
+Same drill as the PROTO/FSM drift tests: the shipped tree must be
+clean, and each rule is proven live by mutating an in-memory copy of
+``launcher.py`` / ``worker.py`` / ``control.py`` / ``docs/RUNTIME.md``
+via ``overrides`` -- the files on disk are never touched.
+"""
+
+from pathlib import Path
+
+from repro.checkers import check_control, extract_control_surface
+from repro.checkers.controlproto import (
+    CONTROL_DOC_PATH,
+    CONTROL_MODULE_PATH,
+    LAUNCHER_PATH,
+    WORKER_PATH,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _read(relative: Path) -> str:
+    return (ROOT / relative).read_text(encoding="utf-8")
+
+
+def _findings(overrides, rule):
+    return [f for f in check_control(ROOT, overrides) if f.rule == rule]
+
+
+# -- the shipped tree --------------------------------------------------------
+
+
+def test_shipped_control_surface_is_clean():
+    assert check_control(ROOT) == []
+
+
+def test_extraction_sees_the_full_vocabulary():
+    surface = extract_control_surface(ROOT)
+    assert surface is not None
+    assert sorted(surface.sent) == sorted(surface.dispatch)
+    assert len(surface.dispatch) == 11
+    assert "ping" in surface.dispatch and "stop" in surface.dispatch
+    # The RUNTIME.md table documents exactly the dispatched vocabulary.
+    assert sorted(surface.doc_ops) == sorted(surface.dispatch)
+
+
+# -- drift by mutation -------------------------------------------------------
+
+
+def test_deleted_dispatch_branch_is_ctrl001():
+    worker = _read(WORKER_PATH).replace(
+        'if op == "endpoints":', 'if op == "endpoints_v2":'
+    )
+    found = _findings({str(WORKER_PATH): worker}, "CTRL001")
+    assert any("'endpoints'" in f.message for f in found)
+    assert all(f.path == str(LAUNCHER_PATH) for f in found)
+
+
+def test_dead_dispatch_branch_is_ctrl002():
+    launcher = _read(LAUNCHER_PATH).replace(
+        'await self.broadcast({"op": "endpoints"})', "()"
+    )
+    found = _findings({str(LAUNCHER_PATH): launcher}, "CTRL002")
+    assert len(found) == 1
+    assert "'endpoints'" in found[0].message
+    assert "never sends it" in found[0].message
+    assert found[0].path == str(WORKER_PATH)
+
+
+def test_renamed_response_key_is_ctrl003():
+    worker = _read(WORKER_PATH).replace(
+        'return {"seconds": seconds}', 'return {"elapsed": seconds}'
+    )
+    found = _findings({str(WORKER_PATH): worker}, "CTRL003")
+    assert len(found) == 1
+    assert "key 'seconds'" in found[0].message
+    assert "'finish'" in found[0].message
+    assert "elapsed" in found[0].message  # schema named in the finding
+
+
+def test_send_without_any_deadline_is_ctrl004():
+    # A single-file mutation cannot fire CTRL004: every shipped wrapper
+    # carries a timeout parameter. Strip BOTH the wrapper's parameter
+    # and the ping site's explicit kwarg.
+    control = _read(CONTROL_MODULE_PATH).replace(
+        "    timeout: float = 10.0,\n", ""
+    )
+    launcher = _read(LAUNCHER_PATH).replace(
+        '{"op": "ping"},\n                        timeout=2.0,',
+        '{"op": "ping"},',
+    )
+    found = _findings(
+        {str(CONTROL_MODULE_PATH): control, str(LAUNCHER_PATH): launcher},
+        "CTRL004",
+    )
+    assert len(found) == 1
+    assert "'ping'" in found[0].message
+    assert "no timeout" in found[0].message
+
+
+def test_dropped_doc_row_is_ctrl005():
+    doc = _read(CONTROL_DOC_PATH)
+    kept = [
+        line
+        for line in doc.splitlines()
+        if not line.startswith("| `ping`")
+    ]
+    found = _findings(
+        {str(CONTROL_DOC_PATH): "\n".join(kept) + "\n"}, "CTRL005"
+    )
+    assert len(found) == 1
+    assert "'ping'" in found[0].message
+    assert "no row" in found[0].message
+
+
+def test_stale_doc_row_is_ctrl005_too():
+    doc = _read(CONTROL_DOC_PATH)
+    stop_row = next(
+        line for line in doc.splitlines() if line.startswith("| `stop`")
+    )
+    mutated = doc.replace(
+        stop_row, stop_row + "\n| `reboot`    | --    | -- |"
+    )
+    found = _findings({str(CONTROL_DOC_PATH): mutated}, "CTRL005")
+    assert len(found) == 1
+    assert "'reboot'" in found[0].message
+    assert "no such branch" in found[0].message

@@ -26,6 +26,7 @@ def test_skip_dirs_are_pruned(tmp_path):
     (tmp_path / "pkg").mkdir()
     (tmp_path / "pkg" / "good.py").write_text(CLEAN)
     for skipped in (
+        ".git",
         ".venv",
         ".tox",
         "node_modules",

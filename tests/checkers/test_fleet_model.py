@@ -1,0 +1,103 @@
+"""Launcher x worker lifecycle product model checking (FSM005/FSM006).
+
+The shipped tables must explore to a deadlock-free fixpoint with a
+reachable completed run; deleting the KILLING reap edge must produce a
+genuine deadlock with a shortest counterexample trace, and a declared
+state with no incoming edge must be flagged as dead.
+"""
+
+from pathlib import Path
+
+from repro.checkers import check_fleet_model, explore_fleet, extract_fleet_fsm
+from repro.checkers.modelcheck import LAUNCHER_FSM_PATH, WORKER_FSM_PATH
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _read(relative: Path) -> str:
+    return (ROOT / relative).read_text(encoding="utf-8")
+
+
+def _extract(overrides=None):
+    fleet = extract_fleet_fsm(ROOT, overrides)
+    assert fleet is not None
+    return fleet
+
+
+# -- the shipped tables ------------------------------------------------------
+
+
+def test_shipped_tables_explore_to_clean_fixpoint():
+    fleet = _extract()
+    findings, result = check_fleet_model(fleet)
+    assert findings == []
+    assert result.deadlocks == []
+    assert result.unreachable == []
+    assert result.done_reachable
+    # Pinned: growing either table changes these on purpose.
+    assert result.states_explored == 34
+    assert result.transitions_explored == 85
+
+
+def test_every_declared_state_is_reachable():
+    fleet = _extract()
+    result = explore_fleet(fleet)
+    assert result.initial == ("INIT", "BOOT")
+    assert result.unreachable == []
+
+
+# -- FSM005: deadlock --------------------------------------------------------
+
+
+def test_deleting_the_kill_reap_edge_deadlocks():
+    launcher = _read(LAUNCHER_FSM_PATH).replace(
+        '("KILLING", "workers_exited"): "DONE",', ""
+    )
+    fleet = _extract({str(LAUNCHER_FSM_PATH): launcher})
+    findings, result = check_fleet_model(fleet)
+    fsm005 = [f for f in findings if f.rule == "FSM005"]
+    stuck = {
+        state for state, _steps in result.deadlocks
+    }
+    # The launcher can no longer observe worker death while KILLING:
+    # both terminal worker fates wedge the product there.
+    assert stuck == {("KILLING", "EXITED"), ("KILLING", "CRASHED")}
+    assert len(fsm005) == 2
+    for finding in fsm005:
+        assert "deadlock: fleet product state (KILLING," in finding.message
+        assert finding.path == str(LAUNCHER_FSM_PATH)
+        # Shortest counterexample, rendered from boot.
+        assert finding.hint.startswith(
+            "counterexample: (INIT,BOOT) =L:spawn=>"
+        )
+    assert result.states_explored > 0  # exploration still ran to fixpoint
+
+
+def test_fsm005_trace_is_shortest():
+    launcher = _read(LAUNCHER_FSM_PATH).replace(
+        '("KILLING", "workers_exited"): "DONE",', ""
+    )
+    fleet = _extract({str(LAUNCHER_FSM_PATH): launcher})
+    result = explore_fleet(fleet)
+    by_state = dict(result.deadlocks)
+    # INIT->WAITING->STOPPING->TERMINATING->KILLING is 4 launcher moves;
+    # one worker move (sigkill) reaches EXITED: 5 steps, no shorter path.
+    assert len(by_state[("KILLING", "EXITED")]) == 5
+
+
+# -- FSM006: dead table row --------------------------------------------------
+
+
+def test_unreachable_declared_state_is_fsm006():
+    worker = _read(WORKER_FSM_PATH).replace(
+        '"EXITED",\n)', '"EXITED",\n    "PAUSED",\n)'
+    )
+    fleet = _extract({str(WORKER_FSM_PATH): worker})
+    findings, _result = check_fleet_model(fleet)
+    fsm006 = [f for f in findings if f.rule == "FSM006"]
+    assert len(fsm006) == 1
+    assert (
+        "declared worker lifecycle state PAUSED is unreachable from BOOT"
+        in fsm006[0].message
+    )
+    assert fsm006[0].path == str(WORKER_FSM_PATH)

@@ -1,0 +1,115 @@
+"""Dependency-closure finding cache for ``verify-static``.
+
+The tier-3 rules are whole-program: a file's findings can change when
+a file it never textually mentions changes (a transitive callee). The
+cache therefore keys each file on its OWN content plus the content
+hashes of its transitive in-tree import closure. These tests pin the
+two properties that matter:
+
+* warm runs replay byte-identical findings without re-analysis, and
+* editing only a dependency invalidates every dependent's entry, so a
+  cross-file ASYNC009 finding appears/disappears correctly on warm
+  runs.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.checkers import run_verify_static
+
+#: a.py's coroutine calls b.py's sync helper; whether that chain is
+#: blocking is decided entirely inside b.py.
+A_SOURCE = textwrap.dedent(
+    """
+    from pkg.b import helper
+
+
+    async def entry():
+        helper()
+    """
+)
+B_BLOCKING = textwrap.dedent(
+    """
+    import time
+
+
+    def helper():
+        time.sleep(1)
+    """
+)
+B_CLEAN = textwrap.dedent(
+    """
+    def helper():
+        return 1
+    """
+)
+
+
+def _tree(tmp_path: Path, b_source: str) -> Path:
+    pkg = tmp_path / "src" / "pkg"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "a.py").write_text(A_SOURCE, encoding="utf-8")
+    (pkg / "b.py").write_text(b_source, encoding="utf-8")
+    return tmp_path / "src"
+
+def _run(tmp_path: Path):
+    return run_verify_static(
+        [tmp_path / "src"],
+        project_root=tmp_path,
+        cache_dir=tmp_path / ".cache",
+    )
+
+
+def _render(report) -> str:
+    return "\n".join(f.render() for f in report.findings)
+
+
+def test_warm_run_is_byte_identical_and_all_hits(tmp_path):
+    _tree(tmp_path, B_BLOCKING)
+    cold = _run(tmp_path)
+    assert [f.rule for f in cold.findings] == ["ASYNC009"]
+    assert cold.findings[0].path.endswith("a.py")
+    assert cold.cache_hits == 0
+
+    warm = _run(tmp_path)
+    assert warm.cache_hits == 3  # __init__.py, a.py, b.py
+    assert _render(warm) == _render(cold)
+    assert [f.rule for f in warm.suppressed] == [
+        f.rule for f in cold.suppressed
+    ]
+
+
+def test_editing_only_the_callee_invalidates_the_dependent(tmp_path):
+    _tree(tmp_path, B_BLOCKING)
+    cold = _run(tmp_path)
+    assert [f.rule for f in cold.findings] == ["ASYNC009"]
+    _run(tmp_path)  # populate the cache fully
+
+    # Mutate ONLY b.py: a.py's bytes are unchanged, but its closure
+    # hash moved, so its cached ASYNC009 entry must not replay.
+    _tree(tmp_path, B_CLEAN)
+    after = _run(tmp_path)
+    assert after.findings == []
+    # __init__.py imports nothing that changed: still a hit. a.py and
+    # b.py both recompute.
+    assert after.cache_hits == 1
+
+    # Reintroduce the blocking call: the finding comes back, again
+    # purely through the dependency edge.
+    _tree(tmp_path, B_BLOCKING)
+    final = _run(tmp_path)
+    assert [f.rule for f in final.findings] == ["ASYNC009"]
+    assert _render(final) == _render(cold)
+
+
+def test_deleting_a_dependency_changes_the_key(tmp_path):
+    _tree(tmp_path, B_BLOCKING)
+    _run(tmp_path)
+    _run(tmp_path)
+    (tmp_path / "src" / "pkg" / "b.py").unlink()
+    report = _run(tmp_path)
+    # a.py's closure shrank -> fresh key -> recomputed (helper is now
+    # unresolvable, so the ASYNC009 finding is gone, not replayed).
+    assert report.findings == []
+    assert report.cache_hits == 1  # only __init__.py replays

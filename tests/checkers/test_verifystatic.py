@@ -1,6 +1,7 @@
 """``python -m repro verify-static``: report, exit codes, rendering,
-and the suppression budget for the tier-2 rules."""
+and the suppression budget for the tier-2/3 rules."""
 
+import json
 import textwrap
 from pathlib import Path
 
@@ -39,6 +40,13 @@ def test_shipped_tree_is_verify_clean():
     assert report.transitions_explored > 0
     assert report.established_reachable
     assert report.files_scanned > 50
+    # Tier-3 prongs all ran: fleet product model, call graph, control.
+    assert report.fleet_checked
+    assert report.fleet_states_explored == 34
+    assert report.fleet_transitions_explored == 85
+    assert report.fleet_done_reachable
+    assert report.functions_indexed > 500
+    assert report.call_edges > 500
 
 
 def test_cli_clean_run_prints_fixpoint_evidence(capsys):
@@ -48,6 +56,8 @@ def test_cli_clean_run_prints_fixpoint_evidence(capsys):
     assert "product state" in out
     assert "to fixpoint" in out
     assert "ESTABLISHED/ESTABLISHED reachable" in out
+    assert "fleet model: explored" in out
+    assert "DONE/EXITED reachable" in out
     assert "verify-static clean" in out
 
 
@@ -58,6 +68,8 @@ def test_cli_stats_lists_every_tier2_rule(capsys):
     out = capsys.readouterr().out
     for rule in VERIFY_RULES:
         assert rule in out
+    assert "call graph:" in out
+    assert "cache hit(s)" in out
     assert "analyzed" in out
 
 
@@ -112,5 +124,38 @@ def test_foreign_tree_skips_fsm_prong(tmp_path):
     (tmp_path / "mod.py").write_text("X = 1\n")
     report = run_verify_static([tmp_path])
     assert not report.fsm_checked
+    assert not report.fleet_checked
     assert report.states_explored == 0
+    assert report.fleet_states_explored == 0
     assert report.clean
+
+
+def test_cli_select_restricts_verify_rules(tmp_path, capsys):
+    (tmp_path / "racy.py").write_text(RACY)
+    assert (
+        repro_main(
+            ["verify-static", str(tmp_path), "--select", "FSM005,CTRL001"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "ASYNC006" not in out
+
+
+def test_cli_sarif_carries_the_tier3_catalog(tmp_path, capsys):
+    (tmp_path / "racy.py").write_text(RACY)
+    out_file = tmp_path / "verify.sarif"
+    assert (
+        repro_main(
+            ["verify-static", str(tmp_path), "--sarif", str(out_file)]
+        )
+        == 1
+    )
+    capsys.readouterr()
+    doc = json.loads(out_file.read_text(encoding="utf-8"))
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-verify-static"
+    ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert ids == set(VERIFY_RULES)
+    assert {"ASYNC009", "ASYNC010", "ASYNC011", "CTRL001", "FSM005"} <= ids
+    assert [r["ruleId"] for r in run["results"]] == ["ASYNC006"]
