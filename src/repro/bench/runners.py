@@ -46,6 +46,7 @@ def run_tulkun_burst(
     profile: DeviceProfile = DeviceProfile(),
     strict_wire: bool = False,
     tracer=None,
+    flight: bool = False,
 ) -> TulkunTiming:
     """Burst update: plans distributed, then all devices count at once."""
     network = SimulatedNetwork(
@@ -55,6 +56,7 @@ def run_tulkun_burst(
         profile=profile,
         strict_wire=strict_wire,
         tracer=tracer,
+        flight=flight,
     )
     elapsed = network.install_plans(dict(workload.plans))
     return TulkunTiming(
@@ -104,6 +106,8 @@ class RuntimeTiming:
     holds: Dict[str, bool] = field(default_factory=dict)
     verdicts: Dict[str, list] = field(default_factory=dict)
     metrics: Optional[object] = None  # repro.runtime.ClusterMetrics
+    #: Per-device flight dumps (captured before the cluster stops).
+    flight: Optional[Dict[str, dict]] = None
 
 
 def run_runtime_burst(
@@ -145,6 +149,8 @@ def run_runtime_burst(
             timing.messages = cluster.metrics.total_messages
             timing.bytes = cluster.metrics.total_bytes
             timing.metrics = cluster.metrics
+            if cluster.flight_enabled:
+                timing.flight = cluster.dump_flight()
             return timing
         finally:
             await cluster.stop()

@@ -59,6 +59,7 @@ RULES: Dict[str, str] = {
     "HYG001": "mutable default argument",
     "HYG002": "parameter shadows a builtin",
     "OBS001": "bare print() in library code (use repro.obs.log)",
+    "OBS002": "TYPE_* frame type without a flight-recorder event mapping",
 }
 
 #: Directory names never scanned.

@@ -1,6 +1,6 @@
-"""Wire-protocol consistency checker (rules PROTO001-PROTO005).
+"""Wire-protocol consistency checker (rules PROTO001-PROTO005, OBS002).
 
-A DVM message kind is *fully plumbed* when five artifacts agree:
+A DVM message kind is *fully plumbed* when six artifacts agree:
 
 1. a ``TYPE_*`` constant in ``repro/dvm/messages.py``;
 2. an encode branch in ``encode_message`` that emits that type;
@@ -10,7 +10,11 @@ A DVM message kind is *fully plumbed* when five artifacts agree:
    ``repro.runtime.transport.is_control_frame`` (session control);
 5. a fuzz corpus entry -- the class is constructed in the wire fuzz
    suite's ``sample_messages`` so truncation/corruption fuzzing covers
-   its codec path.
+   its codec path;
+6. a flight-recorder event mapping -- the type appears in
+   ``repro.obs.flight.FRAME_FLIGHT_EVENTS`` so forensic dumps can label
+   frames of that kind (rule OBS002, both directions: a ``TYPE_*``
+   without a mapping and a stale mapping key are each findings).
 
 Adding a message kind with partial plumbing historically surfaces as a
 ``MessageDecodeError`` (or a silently ignored frame) on a production
@@ -34,6 +38,7 @@ MESSAGES_PATH = Path("src/repro/dvm/messages.py")
 VERIFIER_PATH = Path("src/repro/dvm/verifier.py")
 TRANSPORT_PATH = Path("src/repro/runtime/transport.py")
 FUZZ_PATH = Path("tests/dvm/test_wire_fuzz.py")
+FLIGHT_PATH = Path("src/repro/obs/flight.py")
 
 #: Function names anchoring each artifact.
 ENCODE_FUNCTION = "encode_message"
@@ -58,6 +63,8 @@ class ProtocolSurface:
     dispatched_classes: Set[str] = field(default_factory=set)
     fuzzed_classes: Set[str] = field(default_factory=set)
     fuzz_available: bool = False
+    flight_events: Dict[str, int] = field(default_factory=dict)
+    flight_available: bool = False
 
 
 def _function(module: ast.Module, name: str) -> Optional[ast.AST]:
@@ -158,6 +165,32 @@ def _message_subclasses(module: ast.Module) -> Dict[str, int]:
     return subclasses
 
 
+def _flight_event_map(module: ast.Module) -> Dict[str, int]:
+    """``TYPE_X -> lineno`` keys of the FRAME_FLIGHT_EVENTS dict literal."""
+    events: Dict[str, int] = {}
+    for node in ast.walk(module):
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        named = any(
+            isinstance(target, ast.Name)
+            and target.id == "FRAME_FLIGHT_EVENTS"
+            for target in targets
+        )
+        if not named or not isinstance(value, ast.Dict):
+            continue
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                events[key.value] = key.lineno
+    return events
+
+
 def _parse(root: Path, relative: Path, overrides: Dict[str, str]) -> Optional[ast.Module]:
     key = str(relative)
     if key in overrides:
@@ -222,6 +255,11 @@ def extract_surface(
             surface.fuzzed_classes |= _constructed_classes(
                 _function(fuzz, name)
             )
+
+    flight = _parse(root, FLIGHT_PATH, overrides)
+    if flight is not None:
+        surface.flight_available = True
+        surface.flight_events = _flight_event_map(flight)
     return surface
 
 
@@ -276,6 +314,15 @@ def check_protocol(
                 "add a representative instance so truncation/corruption "
                 "fuzzing covers its codec path",
             )
+        if surface.flight_available and type_name not in surface.flight_events:
+            emit(
+                line,
+                "OBS002",
+                f"{type_name} has no flight-recorder event mapping in "
+                f"{FLIGHT_PATH.name}:FRAME_FLIGHT_EVENTS",
+                "add the frame kind to FRAME_FLIGHT_EVENTS so forensic "
+                "dumps can label frames of this type",
+            )
 
     wired_classes = set(surface.type_to_class.values())
     for cls, line in sorted(surface.message_classes.items()):
@@ -289,5 +336,21 @@ def check_protocol(
                 f"in {ENCODE_FUNCTION}()",
                 "add a TYPE_* constant plus encode/decode branches, or "
                 "remove the dead class",
+            )
+
+    for event_type, line in sorted(surface.flight_events.items()):
+        if event_type not in surface.types:
+            findings.append(
+                Finding(
+                    path=str(FLIGHT_PATH),
+                    line=line,
+                    col=1,
+                    rule="OBS002",
+                    message=(
+                        f"FRAME_FLIGHT_EVENTS maps {event_type}, which is "
+                        f"not a TYPE_* constant in {MESSAGES_PATH.name}"
+                    ),
+                    hint="remove the stale mapping or add the frame type",
+                )
             )
     return findings

@@ -24,7 +24,15 @@ Commands:
   telemetry; see ``docs/RUNTIME.md`` ("Fleet mode").
 * ``bench``     -- run the burst + incremental benchmark over datasets
   and write ``BENCH_summary.json`` (timings, traffic, scrape overhead,
-  and the fattree scale sweep: devices vs. diameter vs. convergence).
+  and the fattree scale sweep: devices vs. diameter vs. convergence);
+  every run also appends a dated entry to ``BENCH_history.jsonl``.
+* ``explain``   -- verdict forensics over flight-recorder dumps: merge
+  per-device rings into one causally-ordered log and reconstruct the
+  causal chain from the triggering update to a device's verdict flip
+  (``--timeline`` for the full convergence view); reads a dump file
+  (``/debug/flight``, ``dump_flight``, or ``fleet --flight-out``
+  output) or generates a violation scenario on either backend; see
+  ``docs/OBSERVABILITY.md``.
 * ``lint``      -- run the repro-lint static analyzers (async-safety,
   DVM wire-protocol consistency, hygiene) over the codebase; see
   :mod:`repro.checkers` and ``docs/STATIC_ANALYSIS.md``.
@@ -50,6 +58,8 @@ Examples::
     python -m repro top 127.0.0.1:9600 127.0.0.1:9601 --once --json
     python -m repro bench --json
     python -m repro trace --dataset inet2 --backend simulator --out trace-out
+    python -m repro explain --dataset INet2 --backend simulator
+    python -m repro explain flight.json --device INet2-r1 --timeline
 """
 
 from __future__ import annotations
@@ -330,6 +340,7 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     """Launch a sharded multi-process fleet and run it to convergence."""
     import asyncio
+    import json
 
     from repro.bench.reporting import print_table, render_json
     from repro.fleet.launcher import FleetError, FleetLauncher
@@ -352,6 +363,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         # --json keeps stdout a single machine-readable document.
         if not args.json:
             print(text)
+
+    flight_dumps: dict = {}
 
     async def drive() -> dict:
         launcher = FleetLauncher(spec)
@@ -420,6 +433,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 f"{min(plan.http_ports.values())}-"
                 f"{max(plan.http_ports.values())}"
             )
+            if args.flight_out:
+                # Collect while the workers are alive; the file write
+                # happens after the loop exits (no blocking I/O here).
+                flight_dumps.update(await launcher.dump_flight())
+                document["flight_devices"] = len(flight_dumps)
             if args.linger > 0:
                 say(
                     f"lingering {args.linger:g}s with the fleet up "
@@ -435,6 +453,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except FleetError as exc:
         print(f"fleet failed: {exc}", file=sys.stderr)
         return 1
+    if args.flight_out and flight_dumps:
+        with open(args.flight_out, "w", encoding="utf-8") as handle:
+            json.dump(flight_dumps, handle, sort_keys=True, default=str)
+        say(
+            f"wrote flight-recorder dumps for {len(flight_dumps)} "
+            f"device(s) to {args.flight_out} "
+            "(inspect with `python -m repro explain`)"
+        )
     text = render_json(document, args.out)
     if args.json:
         print(text, end="")
@@ -613,7 +639,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     Per dataset: simulator burst convergence, the incremental-update
     distribution (p50/p80/max), message/byte totals, and the live-scrape
     overhead numbers (one :class:`~repro.obs.serve.TelemetryServer` over
-    the run's registry, timed ``GET /metrics`` round-trips).
+    the run's registry, timed ``GET /metrics`` round-trips).  The
+    ``flight_overhead`` section times the same burst with the flight
+    recorder off and on, and every run appends a dated entry to the
+    ``--history`` JSONL file so those numbers are trackable across PRs.
 
     The ``fleet_sweep`` section sweeps fattree fabrics (``--sweep``)
     at a fixed workload shape and records devices vs. diameter vs.
@@ -698,12 +727,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     "bytes": entry["bytes"],
                 }
             )
+    if not args.json:
+        print("measuring flight-recorder overhead ...")
+    document["flight_overhead"] = flight = _flight_overhead(
+        datasets[0], args.scale, args.destinations
+    )
     document["analyzer"] = analyzer = _analyzer_stats()
     text = render_json(document, args.out)
+    if args.history:
+        _append_bench_history(args.history, document)
     if args.json:
         print(text, end="")
     else:
         print_table("bench summary", rows)
+        print(
+            f"flight recorder: x{flight['overhead_ratio']:.3f} wall "
+            f"overhead on {flight['dataset']} "
+            f"({flight['events_recorded']} events recorded; traffic "
+            f"identical: {flight['traffic_identical']})"
+        )
         if args.sweep:
             print_table(
                 "fleet scale sweep (latency tracks diameter, not size)",
@@ -725,7 +767,85 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
         if args.out:
             print(f"wrote {args.out}")
+        if args.history:
+            print(f"appended history entry to {args.history}")
     return 0
+
+
+def _flight_overhead(
+    name: str, scale: str, destinations: int, rounds: int = 3
+) -> dict:
+    """Flight-recorder cost: the same burst with recording off vs. on.
+
+    Traffic must be byte-identical either way (the Lamport clock is
+    stamped unconditionally, at fixed width); wall times are interleaved
+    best-of-``rounds`` to damp scheduler noise.  The tracked budget
+    lives in ``benchmarks/test_obs_overhead.py``.
+    """
+    from repro.bench.runners import run_tulkun_burst
+    from repro.bench.workloads import build_workload
+
+    def burst(flight: bool) -> tuple:
+        workload = build_workload(
+            name, scale=scale, max_destinations=destinations
+        )
+        start = time.perf_counter()
+        timing = run_tulkun_burst(workload, flight=flight)
+        return time.perf_counter() - start, timing
+
+    plain_wall = flight_wall = float("inf")
+    plain = flight = None
+    for _ in range(rounds):
+        wall, timing = burst(False)
+        if wall < plain_wall:
+            plain_wall, plain = wall, timing
+        wall, timing = burst(True)
+        if wall < flight_wall:
+            flight_wall, flight = wall, timing
+    events = sum(
+        dump["next_seq"] for dump in flight.network.flight_dump().values()
+    )
+    return {
+        "dataset": name,
+        "rounds": rounds,
+        "plain_wall_seconds": plain_wall,
+        "flight_wall_seconds": flight_wall,
+        "overhead_ratio": (
+            flight_wall / plain_wall if plain_wall > 0 else 1.0
+        ),
+        "traffic_identical": (
+            plain.messages == flight.messages
+            and plain.bytes == flight.bytes
+        ),
+        "events_recorded": events,
+    }
+
+
+def _append_bench_history(path: str, document: dict) -> None:
+    """Append one dated entry to the benchmark history JSONL file.
+
+    The history accretes one line per ``repro bench`` run (CI uploads it
+    next to ``BENCH_summary.json``), so convergence, traffic, and
+    flight-recorder overhead regressions stay visible across PRs.
+    """
+    import json
+
+    entry = {
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": document.get("scale"),
+        "datasets": {
+            name: {
+                "burst_seconds": stats["burst_seconds"],
+                "incremental_p80_seconds": stats["incremental_p80_seconds"],
+                "messages_total": stats["messages_total"],
+                "bytes_total": stats["bytes_total"],
+            }
+            for name, stats in document.get("datasets", {}).items()
+        },
+        "flight_overhead": document.get("flight_overhead"),
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
 
 
 def _sweep_entry(name: str) -> dict:
@@ -928,6 +1048,195 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 f"http://127.0.0.1:{port} for {args.serve:g}s ..."
             ),
         )
+    return 0
+
+
+def _explain_scenario(
+    name: str,
+    backend: str,
+    scale: str = "bench",
+    destinations: int = 3,
+    max_updates: int = 20,
+) -> tuple:
+    """Generate a violation scenario; returns ``(dumps, description)``.
+
+    Both backends share one stopping rule so their forensics are
+    comparable: a flight-off simulator probe finds the shortest prefix
+    of the deterministic update stream (:func:`random_rule_updates`,
+    fixed seed) that breaks an invariant, then the chosen backend
+    replays exactly that prefix with flight recording on.  If the
+    random stream never breaks anything, a deterministic blackhole
+    (drop the first destination's prefix at the destination itself) is
+    appended so the scenario always ends in a verdict flip.
+    """
+    from repro.bench.runners import run_runtime_burst, run_tulkun_burst
+    from repro.bench.workloads import (
+        RuleUpdate,
+        build_workload,
+        random_rule_updates,
+    )
+
+    def fresh() -> tuple:
+        workload = build_workload(
+            name, scale=scale, max_destinations=destinations
+        )
+        return workload, random_rule_updates(workload, max_updates)
+
+    def blackhole(workload) -> RuleUpdate:
+        from repro.dataplane.actions import Drop
+        from repro.dataplane.routes import PRIORITY_ERROR
+
+        destination = next(iter(workload.topology.devices_with_prefixes()))
+        cidr = next(iter(workload.topology.external_prefixes(destination)))
+        packets = workload.factory.dst_prefix(cidr)
+        return RuleUpdate(
+            device=destination,
+            description=f"blackhole {cidr} at {destination}",
+            apply=lambda: workload.fibs[destination].insert(
+                PRIORITY_ERROR, packets, Drop(), label=f"blackhole-{cidr}"
+            ),
+        )
+
+    workload, updates = fresh()
+    probe = run_tulkun_burst(workload)
+    applied = 0
+    violated = False
+    for update in updates:
+        probe.network.fib_update(update.device, update.apply)
+        applied += 1
+        if any(not probe.network.holds(pid) for pid, _ in workload.plans):
+            violated = True
+            break
+
+    workload, updates = fresh()
+    replay = list(updates[:applied])
+    if not violated:
+        replay.append(blackhole(workload))
+    if backend == "simulator":
+        burst = run_tulkun_burst(workload, flight=True)
+        for update in replay:
+            burst.network.fib_update(update.device, update.apply)
+        dumps = burst.network.flight_dump()
+    else:
+        timing = run_runtime_burst(
+            workload,
+            replay,
+            keepalive_interval=0.2,
+            quiescence_grace=0.03,
+            settle_rounds=2,
+            http_enabled=False,
+        )
+        dumps = timing.flight or {}
+    description = f"{name} on the {backend} backend, {len(replay)} update(s)"
+    if not violated:
+        description += " incl. injected blackhole"
+    return dumps, description
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Verdict forensics: merge flight dumps, walk the causal chain.
+
+    Exit codes: 0 = chain reconstructed, 1 = no verdict transition in
+    the dumps, 2 = unreadable input / bad arguments.
+    """
+    import json
+
+    from repro.obs.flight import (
+        causal_chain,
+        chain_signature,
+        find_verdict,
+        merge_dumps,
+        render_chain,
+        render_timeline,
+    )
+
+    if args.dumps:
+        documents = []
+        for path in args.dumps:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    documents.append(json.load(handle))
+            except (OSError, ValueError) as exc:
+                print(
+                    f"cannot read flight dump {path}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+        merged = merge_dumps(documents)
+        source = ", ".join(args.dumps)
+    else:
+        try:
+            name = _resolve_dataset(args.dataset)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        backend = {
+            "sim": "simulator",
+            "simulator": "simulator",
+            "runtime": "runtime",
+        }[args.backend]
+        print(
+            f"no dump files given; generating a violation scenario "
+            f"({name}, {backend} backend) ..."
+        )
+        dumps, source = _explain_scenario(
+            name,
+            backend,
+            scale=args.scale,
+            destinations=args.destinations,
+            max_updates=args.updates,
+        )
+        merged = merge_dumps(dumps)
+
+    target = find_verdict(merged, device=args.device, plan=args.plan)
+    if target is None:
+        print(
+            "no verdict transition found in the flight dump(s)"
+            + (
+                f" for device={args.device!r} plan={args.plan!r}"
+                if args.device or args.plan
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    chain = causal_chain(merged, target=target)
+    print(
+        f"flight dump: {len(merged['events'])} event(s) from "
+        f"{len(merged['devices'])} device(s) ({source})"
+    )
+    if merged.get("truncated"):
+        print(
+            f"  truncated: {merged['dropped']} dropped, "
+            f"{merged['missing']} missing -- the chain may stop early"
+        )
+    print(
+        f"explaining: plan {target.get('plan')} on "
+        f"{target.get('device')} -> holds={target.get('holds')}"
+    )
+    print()
+    print("causal chain (origin -> verdict):")
+    print(render_chain(chain))
+    if args.timeline:
+        print()
+        print("convergence timeline (causally ordered):")
+        print(render_timeline(merged, limit=args.timeline_limit))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "target": target,
+                    "chain": chain,
+                    "signature": [
+                        list(entry) for entry in chain_signature(chain)
+                    ],
+                    "merged": merged,
+                },
+                handle,
+                sort_keys=True,
+                default=str,
+            )
+        print(f"wrote chain + merged log to {args.out}")
     return 0
 
 
@@ -1151,6 +1460,16 @@ def build_parser() -> argparse.ArgumentParser:
             "seconds after the workload (default: 0)"
         ),
     )
+    fleet.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "collect every worker's per-device flight-recorder dumps "
+            "(the dump_flight op) into this JSON file; feed it to "
+            "`python -m repro explain`"
+        ),
+    )
 
     top = commands.add_parser(
         "top",
@@ -1239,6 +1558,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the summary document to stdout",
     )
     bench.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="FILE",
+        help=(
+            "append a dated summary entry to this JSONL history file "
+            "(default: BENCH_history.jsonl; pass '' to skip)"
+        ),
+    )
+    bench.add_argument(
         "--sweep",
         nargs="*",
         default=["ft4", "ft8", "ft12", "ft16h8"],
@@ -1297,6 +1625,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="port for --serve (default: 0 = ephemeral, printed)",
     )
 
+    explain = commands.add_parser(
+        "explain",
+        help="reconstruct the causal chain behind a verdict transition",
+    )
+    explain.add_argument(
+        "dumps",
+        nargs="*",
+        metavar="DUMP.json",
+        help=(
+            "flight dump file(s): /debug/flight responses, `fleet "
+            "--flight-out` output, or any nesting of per-device dumps; "
+            "with none given, a violation scenario is generated via "
+            "--dataset/--backend"
+        ),
+    )
+    explain.add_argument(
+        "--dataset",
+        default="INet2",
+        help="dataset for the generated scenario (default: INet2)",
+    )
+    explain.add_argument(
+        "--backend",
+        default="simulator",
+        choices=("simulator", "sim", "runtime"),
+        help="backend for the generated scenario (default: simulator)",
+    )
+    explain.add_argument(
+        "--scale",
+        default="bench",
+        choices=("paper", "bench", "tiny"),
+        help="dataset scale for the generated scenario (default: bench)",
+    )
+    explain.add_argument(
+        "--destinations",
+        type=int,
+        default=3,
+        help="invariant destinations for the scenario (default: 3)",
+    )
+    explain.add_argument(
+        "--updates",
+        type=int,
+        default=20,
+        help=(
+            "max rule updates injected while hunting a violation "
+            "(default: 20)"
+        ),
+    )
+    explain.add_argument(
+        "--device",
+        default=None,
+        help="explain the verdict on this device (default: last violated)",
+    )
+    explain.add_argument(
+        "--plan",
+        default=None,
+        help="restrict to this plan/invariant id",
+    )
+    explain.add_argument(
+        "--timeline",
+        action="store_true",
+        help="also print the merged convergence timeline",
+    )
+    explain.add_argument(
+        "--timeline-limit",
+        type=int,
+        default=40,
+        help="events shown in the --timeline view (default: 40)",
+    )
+    explain.add_argument(
+        "--out",
+        default=None,
+        help="write target + chain + signature + merged log as JSON",
+    )
+
     lint = commands.add_parser(
         "lint",
         help="run the repro-lint static analyzers (exit 1 on findings)",
@@ -1327,6 +1729,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "top": _cmd_top,
         "bench": _cmd_bench,
+        "explain": _cmd_explain,
         "lint": _cmd_lint,
         "verify-static": _cmd_verify_static,
     }

@@ -19,7 +19,18 @@ the simulator, so wire size statistics in the benchmarks are real.
 
 Frame layout::
 
-    u16 magic (0xD7A1)   u8 version (1)   u8 type   u32 body_length   body
+    u16 magic (0xD7A1)   u8 version (1)   u8 type   u32 clock
+    u32 body_length   body
+
+``clock`` is the sender's Lamport logical clock at send time (stamped
+unconditionally by both backends; receivers fold it into their own
+clock).  It travels in the fixed header -- not the body -- so message
+dataclasses stay frozen and value-equal regardless of when they were
+sent: the codec reads it from the optional ``clock`` attribute
+(default 0) and re-attaches it on decode without making it part of
+equality.  The flight recorder (:mod:`repro.obs.flight`) uses it to
+causally order merged per-device event logs and to match a received
+frame to the peer's send.
 """
 
 from __future__ import annotations
@@ -34,7 +45,7 @@ from repro.packetspace.predicate import Predicate, PredicateFactory
 MAGIC = 0xD7A1
 VERSION = 1
 
-_FRAME = struct.Struct("!HBBI")
+_FRAME = struct.Struct("!HBBII")
 _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
 
@@ -281,14 +292,15 @@ def encode_message(message: Message) -> bytes:
             kind = TYPE_LINKSTATE
         else:
             raise TypeError(f"cannot encode {message!r}")
-    return _FRAME.pack(MAGIC, VERSION, kind, len(body)) + body
+    clock = getattr(message, "clock", 0)
+    return _FRAME.pack(MAGIC, VERSION, kind, clock & 0xFFFFFFFF, len(body)) + body
 
 
 def decode_message(payload: bytes, factory: PredicateFactory) -> Message:
     """Decode one wire frame (predicates land in ``factory``)."""
     if len(payload) < _FRAME.size:
         raise MessageDecodeError("frame too short")
-    magic, version, kind, length = _FRAME.unpack_from(payload, 0)
+    magic, version, kind, clock, length = _FRAME.unpack_from(payload, 0)
     if magic != MAGIC:
         raise MessageDecodeError(f"bad magic 0x{magic:04X}")
     if version != VERSION:
@@ -301,13 +313,18 @@ def decode_message(payload: bytes, factory: PredicateFactory) -> Message:
             f"frame length mismatch: header says {length}, got {len(body)}"
         )
     try:
-        return _decode_body(kind, body, factory)
+        message = _decode_body(kind, body, factory)
     except MessageDecodeError:
         raise
     except (struct.error, ValueError, IndexError, UnicodeDecodeError) as exc:
         # Bounds hold, but the body's contents are inconsistent (corrupt
         # BDD payload, zero count dimension, broken UTF-8, ...).
         raise MessageDecodeError(f"malformed type-{kind} body: {exc}") from exc
+    if clock:
+        # The Lamport clock rides outside the frozen dataclass fields so
+        # equality and hashing ignore *when* a message was sent.
+        object.__setattr__(message, "clock", clock)
+    return message
 
 
 def decode_stream(
@@ -325,7 +342,7 @@ def decode_stream(
     offset = 0
     total = len(buffer)
     while total - offset >= _FRAME.size:
-        magic, version, kind, length = _FRAME.unpack_from(buffer, offset)
+        magic, version, kind, clock, length = _FRAME.unpack_from(buffer, offset)
         if magic != MAGIC:
             raise MessageDecodeError(f"bad magic 0x{magic:04X} in stream")
         if version != VERSION:

@@ -37,6 +37,7 @@ from repro.dvm.messages import (
     SubscribeMessage,
     UpdateMessage,
 )
+from repro.obs.flight import NULL_RECORDER, FlightRecorder
 from repro.obs.trace import CAT_VERIFY, NULL_TRACER, Tracer
 from repro.packetspace.predicate import Predicate, PredicateFactory
 from repro.packetspace.transform import Rewrite
@@ -150,6 +151,13 @@ class OnDeviceVerifier:
         #: Observability hook; the owning backend (simulator network or
         #: runtime device host) swaps in its tracer when tracing is on.
         self.tracer: Tracer = NULL_TRACER
+        #: Flight-recorder hook (same ownership model as the tracer):
+        #: the backend swaps in the device's recorder so CIB deltas and
+        #: verdict transitions land in the forensic ring buffer.
+        self.flight: FlightRecorder = NULL_RECORDER
+        #: Last known root verdict per (plan_id, node_id) -- transition
+        #: detection for the flight recorder's ``verdict`` events.
+        self._verdict_holds: Dict[Tuple[str, str], bool] = {}
 
     # ------------------------------------------------------------------
     # plan installation
@@ -175,6 +183,8 @@ class OnDeviceVerifier:
 
     def uninstall_plan(self, plan_id: str) -> None:
         self._contexts.pop(plan_id, None)
+        for key in [k for k in self._verdict_holds if k[0] == plan_id]:
+            del self._verdict_holds[key]
 
     # ------------------------------------------------------------------
     # event entry points
@@ -310,6 +320,15 @@ class OnDeviceVerifier:
                 cat=CAT_VERIFY,
                 plan=context.plan_id,
                 node=message.up_node,
+                withdrawn=len(message.withdrawn),
+                results=len(message.results),
+            )
+        if self.flight.enabled:
+            self.flight.record(
+                "cib_delta",
+                plan=context.plan_id,
+                up=message.up_node,
+                down=message.down_node,
                 withdrawn=len(message.withdrawn),
                 results=len(message.results),
             )
@@ -620,7 +639,44 @@ class OnDeviceVerifier:
                 state.loc.insert(LocEntry(predicate, counts, action, inputs))
 
         outgoing.extend(self._emit_updates(context, state, region))
+        if self.flight.enabled and self.device in state.task.is_root_for:
+            self._check_verdict(context, state)
         return outgoing
+
+    def _check_verdict(
+        self, context: _PlanContext, state: _NodeState
+    ) -> None:
+        """Record a flight ``verdict`` event when a root verdict flips.
+
+        Only runs with the flight recorder enabled, and only on nodes
+        that are verification roots for *this* device -- the same filter
+        as :meth:`root_verdicts`, so the recorded transitions are
+        exactly the externally visible ones.  A flip to violated also
+        snapshots the ring tail (evidence survives further wrap).
+        """
+        holds = True
+        for _, counts in state.loc.lookup(state.interest):
+            if not context.plan.holds(counts):
+                holds = False
+                break
+        key = (context.plan_id, state.task.node_id)
+        previous = self._verdict_holds.get(key)
+        if previous == holds:
+            return
+        self._verdict_holds[key] = holds
+        self.flight.record(
+            "verdict",
+            plan=context.plan_id,
+            node=state.task.node_id,
+            holds=holds,
+            prev=previous,
+        )
+        if not holds:
+            self.flight.snapshot(
+                "verdict_violation",
+                plan=context.plan_id,
+                node=state.task.node_id,
+            )
 
     def _ensure_subscriptions(
         self,
@@ -752,6 +808,15 @@ class OnDeviceVerifier:
                 reason=reason,
             )
         )
+        if self.flight.enabled:
+            self.flight.record(
+                "verdict",
+                plan=context.plan_id,
+                node=state.task.node_id,
+                holds=False,
+                prev=None,
+                reason=reason,
+            )
 
 
 def _combine(

@@ -428,6 +428,23 @@ class FleetLauncher:
                 totals[key] += int(response.get(key, 0))  # type: ignore[arg-type]
         return totals
 
+    async def dump_flight(self) -> Dict[str, Dict[str, object]]:
+        """Merged ``device -> flight dump`` across every shard.
+
+        Shards own disjoint devices, so the merge is a plain union;
+        feed the result to :func:`repro.obs.flight.merge_dumps` for one
+        causally-ordered fleet log.
+        """
+        merged: Dict[str, Dict[str, object]] = {}
+        for response in await self.broadcast({"op": "dump_flight"}):
+            flight = response.get("flight")
+            if not isinstance(flight, dict):
+                continue
+            for device, dump in sorted(flight.items()):
+                if isinstance(dump, dict):
+                    merged[device] = dump
+        return merged
+
     # -- observability federation ------------------------------------------
 
     async def endpoints(self) -> Dict[str, Tuple[str, int]]:

@@ -22,6 +22,7 @@ Control ops (see :mod:`repro.fleet.control` for the envelope):
 ``finish``    close the operation window; answers convergence seconds.
 ``verdicts``  per-plan root verdicts hosted on this shard.
 ``metrics``   shard traffic totals.
+``dump_flight``  per-device flight-recorder dumps of this shard.
 ``stop``      graceful shutdown.
 """
 
@@ -227,6 +228,8 @@ class FleetWorker:
                 "bytes": metrics.total_bytes,
                 "reconnects": metrics.total_reconnects,
             }
+        if op == "dump_flight":
+            return {"flight": self.cluster.dump_flight()}
         if op == "stop":
             self._stop_event.set()
             return {}

@@ -1,6 +1,6 @@
 """repro.obs -- the shared observability layer.
 
-Four parts, zero dependencies, shared by the discrete-event simulator
+Five parts, zero dependencies, shared by the discrete-event simulator
 and the asyncio/TCP runtime (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`repro.obs.metrics` + :mod:`repro.obs.schema` -- the metrics
@@ -11,7 +11,10 @@ and the asyncio/TCP runtime (see ``docs/OBSERVABILITY.md``):
 * :mod:`repro.obs.serve` + :mod:`repro.obs.collector` -- the live
   telemetry plane: per-agent ``/metrics`` + ``/healthz`` + ``/vars``
   HTTP endpoints and the fleet-scraping collector behind
-  ``python -m repro top``.
+  ``python -m repro top``;
+* :mod:`repro.obs.flight` -- the per-device flight recorder (bounded
+  ring of typed events with Lamport clocks) plus the merge / causal
+  chain machinery behind ``python -m repro explain``.
 """
 
 from repro.obs.collector import (
@@ -19,6 +22,18 @@ from repro.obs.collector import (
     DeviceSample,
     FleetSnapshot,
     parse_prometheus_text,
+)
+from repro.obs.flight import (
+    FRAME_FLIGHT_EVENTS,
+    NULL_RECORDER,
+    FlightRecorder,
+    LamportClock,
+    causal_chain,
+    chain_signature,
+    find_verdict,
+    merge_dumps,
+    render_chain,
+    render_timeline,
 )
 from repro.obs.export import (
     read_jsonl,
@@ -53,25 +68,35 @@ __all__ = [
     "DVM_METRIC_NAMES",
     "DeviceSample",
     "FLEET_METRIC_NAMES",
+    "FRAME_FLIGHT_EVENTS",
     "FleetSnapshot",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LamportClock",
     "MetricError",
     "MetricFamily",
     "MetricsRegistry",
+    "NULL_RECORDER",
     "NULL_TRACER",
     "SpanHandle",
     "TelemetryServer",
     "TraceRecord",
     "Tracer",
+    "causal_chain",
+    "chain_signature",
     "configure_logging",
+    "find_verdict",
     "get_logger",
     "http_get",
     "install_dvm_schema",
     "install_fleet_schema",
     "kv",
+    "merge_dumps",
     "parse_prometheus_text",
     "read_jsonl",
+    "render_chain",
+    "render_timeline",
     "serve_registry",
     "to_chrome",
     "validate_jsonl",

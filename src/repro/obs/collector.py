@@ -15,7 +15,10 @@ telemetry plane.  Given the agents' telemetry endpoints (see
 * detects **stalled convergence**: a device whose counting counters
   stop advancing across consecutive scrapes while its convergence phase
   is still open fires a structured-log alert, as do transitions to
-  unreachable or degraded.
+  unreachable or degraded.  A stall alert additionally pulls the
+  device's ``/debug/flight`` dump (see :mod:`repro.obs.flight`) into
+  :attr:`Collector.flight_snapshots`, so the forensic ring is captured
+  while the evidence is still in it.
 
 The collector is backend-agnostic: it speaks only HTTP, so it scrapes
 a live testbed, a :func:`~repro.obs.serve.serve_registry` export of a
@@ -131,6 +134,8 @@ class Collector:
         self.launch_grace_seconds = max(0.0, launch_grace_seconds)
         self.state = "unknown"
         self.alerts: List[Dict[str, object]] = []
+        #: Flight-recorder dumps captured on stall alerts, by device.
+        self.flight_snapshots: Dict[str, Dict[str, object]] = {}
         self.cycles = 0
         self.targets: List[Target] = []
         self._registered_at: Dict[Target, float] = {}
@@ -282,8 +287,35 @@ class Collector:
         self.fleet["fleet_degraded"].set(
             1.0 if snapshot.state == "degraded" else 0.0
         )
+        await self._capture_flight(snapshot)
         self.cycles += 1
         return snapshot
+
+    async def _capture_flight(self, snapshot: FleetSnapshot) -> None:
+        """Pull ``/debug/flight`` from devices that stalled this cycle."""
+        by_device = snapshot.by_device()
+        for alert in snapshot.alerts:
+            if alert.get("kind") != "stalled":
+                continue
+            sample = by_device.get(str(alert.get("device", "")))
+            if sample is None:
+                continue
+            host, port = sample.target
+            try:
+                status, body = await http_get(
+                    host, port, "/debug/flight", timeout=self.timeout
+                )
+                if status == 200:
+                    self.flight_snapshots[sample.device] = json.loads(
+                        body.decode("utf-8")
+                    )
+            except (
+                asyncio.TimeoutError,
+                ConnectionError,
+                OSError,
+                ValueError,
+            ):
+                pass  # best-effort: the stall alert itself already fired
 
     def _merge(
         self, sample: DeviceSample, now: float, snapshot: FleetSnapshot

@@ -14,7 +14,10 @@ agent embeds a :class:`TelemetryServer` (wired into the
   uptime); answers ``503`` when the health provider reports anything
   but ``"ok"``;
 * ``GET /vars``   -- the full registry as one JSON document (what the
-  collector scrapes to merge fleet state).
+  collector scrapes to merge fleet state);
+* ``GET /debug/flight`` -- the device's flight-recorder dump (ring of
+  typed events with Lamport clocks, see :mod:`repro.obs.flight`); 404
+  when the owning backend records no flights.
 
 The server is deliberately tiny: HTTP/1.1, ``Connection: close``, GET
 only -- enough for ``curl``, Prometheus, and the in-repo collector, with
@@ -63,6 +66,7 @@ _REASONS = {
 
 RegistryProvider = Callable[[], MetricsRegistry]
 HealthProvider = Callable[[], Dict[str, object]]
+FlightProvider = Callable[[], Dict[str, object]]
 
 
 class TelemetryServer:
@@ -90,9 +94,11 @@ class TelemetryServer:
         port: int = 0,
         port_retry_window: int = 0,
         request_timeout: float = 5.0,
+        flight_provider: Optional[FlightProvider] = None,
     ) -> None:
         self._registry_provider = registry_provider
         self._health_provider = health_provider or self._default_health
+        self._flight_provider = flight_provider
         self.host = host
         self.port = port  # the bound port after start() (0 = ephemeral)
         self._requested_port = port
@@ -212,6 +218,12 @@ class TelemetryServer:
             status = 200 if health.get("status") == "ok" else 503
             body = json.dumps(health, indent=2, sort_keys=True, default=str)
             return status, CONTENT_TYPE_JSON, body.encode("utf-8")
+        if path == "/debug/flight":
+            if self._flight_provider is None:
+                return 404, CONTENT_TYPE_TEXT, b"no flight recorder\n"
+            dump = self._flight_provider()
+            body = json.dumps(dump, sort_keys=True, default=str)
+            return 200, CONTENT_TYPE_JSON, body.encode("utf-8")
         return 404, CONTENT_TYPE_TEXT, b"unknown path\n"
 
 

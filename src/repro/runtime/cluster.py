@@ -61,6 +61,7 @@ from repro.dvm.verifier import (
     RootVerdict,
     Violation,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger, kv
 from repro.obs.serve import TelemetryServer
 from repro.obs.trace import (
@@ -100,6 +101,7 @@ class DeviceHost:
         factory: PredicateFactory,
         metrics: DeviceMetrics,
         cluster: "RuntimeCluster",
+        flight: FlightRecorder,
         http_port: Optional[int] = None,
         dvm_port: int = 0,
     ) -> None:
@@ -108,14 +110,16 @@ class DeviceHost:
         self.factory = factory
         self.metrics = metrics
         self.cluster = cluster
+        self.flight = flight
         self.sessions: Dict[str, PeerSession] = {}
         self.installed_plans: List[str] = []
-        # Each inbox entry carries the message plus the span id of the
+        # Each inbox entry carries the message, the span id of the
         # handler that emitted it on the sending device (None when
-        # tracing is off or causality is unknown).
-        self.inbox: "asyncio.Queue[Tuple[Message, Optional[int]]]" = (
-            asyncio.Queue()
-        )
+        # tracing is off or causality is unknown), and the flight seq
+        # of the frame_rx event (None when recording is off).
+        self.inbox: (
+            "asyncio.Queue[Tuple[Message, Optional[int], Optional[int]]]"
+        ) = asyncio.Queue()
         self.server: Optional[asyncio.Server] = None
         #: Planned DVM port (0 = ephemeral); ``port`` is the bound one.
         self.dvm_port = dvm_port
@@ -152,6 +156,7 @@ class DeviceHost:
                 host=self.cluster.http_host,
                 port=self._requested_http_port,
                 port_retry_window=self.cluster.http_retry_window,
+                flight_provider=self.flight.dump,
             )
             await self.telemetry.start()
 
@@ -283,7 +288,20 @@ class DeviceHost:
     def handle_incoming(self, peer: str, message: Message) -> None:
         """Session read loops push counting frames here (FIFO per peer)."""
         parent = self.cluster.pop_parent(peer, self.device)
-        self.inbox.put_nowait((message, parent))
+        # Lamport receive rule: merge the frame's clock, then record the
+        # arrival so the handler's effects can be chained to it.
+        clock = getattr(message, "clock", 0)
+        self.flight.clock.observe(clock)
+        cause: Optional[int] = None
+        if self.flight.enabled:
+            cause = self.flight.record(
+                "frame_rx",
+                kind=message_kind(message),
+                peer=peer,
+                plan=message.plan_id,
+                clock=clock,
+            )
+        self.inbox.put_nowait((message, parent, cause))
         self.cluster.note_activity()
 
     def _run_handler(
@@ -314,13 +332,15 @@ class DeviceHost:
 
     async def _pump(self) -> None:
         while True:
-            message, parent = await self.inbox.get()
+            message, parent, flight_cause = await self.inbox.get()
+            self.flight.set_cause(flight_cause)
             outgoing, span_id = self._run_handler(
                 f"recv {message_kind(message)}",
                 lambda m=message: self.verifier.on_message(m),
                 parent,
             )
             self.route(outgoing, parent=span_id)
+            self.flight.clear_cause()
             self.cluster.note_activity()
 
     def route(
@@ -340,11 +360,20 @@ class DeviceHost:
         handler: Callable[[], Outgoing],
         name: str = "handler",
         parent: Optional[int] = None,
+        flight_cause: Optional[int] = None,
     ) -> None:
         """Run a verifier entry point and transmit what it emits."""
+        self.flight.set_cause(flight_cause)
         outgoing, span_id = self._run_handler(name, handler, parent)
         self.route(outgoing, parent=span_id)
+        self.flight.clear_cause()
         self.cluster.note_activity()
+
+    def _flight_admin(self, kind: str, detail: str = "") -> Optional[int]:
+        """Record a workload-injection event; returns its seq (or None)."""
+        if not self.flight.enabled:
+            return None
+        return self.flight.record("admin", kind=kind, detail=detail)
 
     # -- session callbacks -------------------------------------------------
 
@@ -361,8 +390,21 @@ class DeviceHost:
 
     def on_peer_down(self, peer: str) -> None:
         self.cluster.clear_parents(self.device, peer)
+        cause: Optional[int] = None
+        if self.flight.enabled:
+            # Chain the loss to the session's last FSM edge (conn_lost /
+            # hold_expired), then freeze the ring: a dead peer is exactly
+            # the moment the evidence must survive further traffic.
+            session = self.sessions.get(peer)
+            edge = session._flight_last_edge if session is not None else None
+            self.flight.set_cause(edge)
+            cause = self.flight.record("peer_down", peer=peer)
+            self.flight.clear_cause()
+            self.flight.snapshot("peer_down", peer=peer)
         self.call(
-            lambda: self.verifier.on_peer_down(peer), name="peer_down"
+            lambda: self.verifier.on_peer_down(peer),
+            name="peer_down",
+            flight_cause=cause,
         )
 
 
@@ -391,6 +433,8 @@ class RuntimeCluster:
         shard: Optional[Iterable[str]] = None,
         dvm_ports: Optional[Dict[str, int]] = None,
         local_fastpath: bool = False,
+        flight_enabled: bool = True,
+        flight_capacity: int = 512,
     ) -> None:
         self.topology = topology
         self.factory = factory
@@ -407,6 +451,11 @@ class RuntimeCluster:
         self.handshake_timeout = handshake_timeout
         self.http_enabled = http_enabled
         self.http_base_port = http_base_port
+        # Flight recording defaults on for the testbed (forensics are
+        # the point of running real sockets); frames carry the Lamport
+        # clock either way, so disabling it never changes the traffic.
+        self.flight_enabled = flight_enabled
+        self.flight_capacity = flight_capacity
         self.http_host = http_host
         self.http_retry_window = http_retry_window
         #: Devices hosted by *this* process (sorted); the whole topology
@@ -608,12 +657,20 @@ class RuntimeCluster:
             )
             if self.tracer.enabled:
                 verifier.tracer = self.tracer
+            flight = FlightRecorder(
+                device,
+                capacity=self.flight_capacity,
+                enabled=self.flight_enabled,
+                backend="runtime",
+            )
+            verifier.flight = flight
             host = DeviceHost(
                 device,
                 verifier,
                 self.factory,
                 self.metrics.device(device),
                 self,
+                flight,
                 http_port=http_ports[device],
                 dvm_port=self.dvm_ports.get(device, 0),
             )
@@ -679,6 +736,7 @@ class RuntimeCluster:
             backoff=self.backoff,
             rng=random.Random(f"{self.seed}:{device}:{peer}"),
             tracer=self.tracer,
+            flight=host.flight,
             connector=(
                 (lambda p=peer: self._local_connect(p))
                 if use_fastpath
@@ -767,6 +825,7 @@ class RuntimeCluster:
                     ),
                     name="install_plan",
                     parent=self._op_span,
+                    flight_cause=host._flight_admin("install", plan_id),
                 )
 
     def inject_fib_update(
@@ -781,6 +840,7 @@ class RuntimeCluster:
             host.verifier.on_fib_changed,
             name="fib_changed",
             parent=self._op_span,
+            flight_cause=host._flight_admin("fib_update", device),
         )
         return True
 
@@ -800,6 +860,7 @@ class RuntimeCluster:
                 lambda v=host.verifier: v.on_link_event((a, b), up=up),
                 name="link_event",
                 parent=self._op_span,
+                flight_cause=host._flight_admin("link", f"{a}-{b} up={up}"),
             )
 
     # -- workload operations (each returns convergence seconds) ------------
@@ -829,6 +890,7 @@ class RuntimeCluster:
                 host.verifier.on_fib_changed,
                 name="fib_changed",
                 parent=self._op_span,
+                flight_cause=host._flight_admin("fib_burst"),
             )
         return await self.settle_operation(start)
 
@@ -903,3 +965,10 @@ class RuntimeCluster:
             for host in self.hosts.values()
             for violation in host.verifier.violations
         ]
+
+    def dump_flight(self) -> Dict[str, Dict[str, object]]:
+        """Per-device flight-recorder dumps for the locally hosted shard."""
+        return {
+            device: host.flight.dump()
+            for device, host in sorted(self.hosts.items())
+        }

@@ -34,7 +34,9 @@ from repro.dvm.messages import (
     Message,
     MessageDecodeError,
     OpenMessage,
+    message_kind,
 )
+from repro.obs.flight import NULL_RECORDER, FlightRecorder
 from repro.obs.log import get_logger, kv
 from repro.obs.trace import CAT_SESSION, NULL_TRACER, Tracer
 from repro.packetspace.predicate import PredicateFactory
@@ -174,6 +176,7 @@ class PeerSession:
         rng: Optional[random.Random] = None,
         tracer: Optional[Tracer] = None,
         connector: Optional[Connector] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.device = device
         self.peer = peer
@@ -181,6 +184,11 @@ class PeerSession:
         self.metrics = metrics
         self.events = events
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Device-wide recorder shared across the host's sessions; the
+        # Lamport clock always ticks (frame stamping must not depend on
+        # whether recording is enabled, so traffic stays byte-identical).
+        self.flight = flight if flight is not None else NULL_RECORDER
+        self._flight_last_edge: Optional[int] = None
         self.active = active
         self.peer_address = peer_address
         self.connector = connector
@@ -209,6 +217,10 @@ class PeerSession:
         constants.
         """
         self.state = state
+        if self.flight.enabled:
+            self._flight_last_edge = self.flight.record(
+                "session", event=event, state=state, peer=self.peer
+            )
 
     def start(self) -> None:
         """Begin dialing (active side).  Passive sessions wait to adopt."""
@@ -263,6 +275,19 @@ class PeerSession:
         """Queue ``message``; False when the session is down (dropped)."""
         if self._channel is None or not self.is_established:
             return False
+        # Stamp the frame with the device's Lamport clock.  Messages fan
+        # out to several peers as one shared instance; FramedChannel.send
+        # encodes synchronously, so re-stamping per peer is safe.
+        clock = self.flight.clock.tick()
+        object.__setattr__(message, "clock", clock)
+        if self.flight.enabled:
+            self.flight.record(
+                "frame_tx",
+                kind=message_kind(message),
+                peer=self.peer,
+                plan=message.plan_id,
+                clock=clock,
+            )
         self._channel.send(message)
         return True
 

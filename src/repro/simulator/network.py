@@ -31,6 +31,7 @@ from repro.dvm.messages import (
     message_kind,
 )
 from repro.dvm.verifier import OnDeviceVerifier, RootVerdict, Violation
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.obs.schema import (
     DIRECTION_IN,
@@ -187,6 +188,8 @@ class SimulatedNetwork:
         count_wire_bytes: bool = True,
         verifier_hosts: Optional[Dict[str, str]] = None,
         tracer: Optional[Tracer] = None,
+        flight: bool = False,
+        flight_capacity: int = 512,
     ) -> None:
         """``verifier_hosts`` enables §7's incremental deployment: map a
         device to the host that runs its verifier off-device (a VM or a
@@ -226,6 +229,24 @@ class SimulatedNetwork:
         if self.tracer.enabled:
             for verifier in self.verifiers.values():
                 verifier.tracer = self.tracer
+        # One flight recorder (and Lamport clock) per device.  Clock
+        # stamping is unconditional -- wire traffic is identical whether
+        # or not forensics are on -- so the recorders always exist; the
+        # ``flight`` flag only gates event recording.
+        self._flight_enabled = flight
+        self.flight_recorders: Dict[str, FlightRecorder] = {
+            device: FlightRecorder(
+                device,
+                capacity=flight_capacity,
+                enabled=flight,
+                backend="simulator",
+                monotonic=lambda: self.queue.now,
+            )
+            for device in topology.devices
+        }
+        if flight:
+            for device, verifier in self.verifiers.items():
+                verifier.flight = self.flight_recorders[device]
         self._busy_until: Dict[str, List[float]] = {
             device: [0.0] * max(1, self.profile_of(device).cores)
             for device in topology.devices
@@ -267,6 +288,7 @@ class SimulatedNetwork:
         handler: Callable[[], List[Tuple[str, Message]]],
         name: str = "execute",
         parent_id: Optional[int] = None,
+        flight_cause: Optional[int] = None,
     ) -> None:
         """Run ``handler`` on ``device``, charging measured CPU time.
 
@@ -280,6 +302,14 @@ class SimulatedNetwork:
         cores = self._busy_until[host]
         core_index = min(range(len(cores)), key=cores.__getitem__)
         start_sim = max(self.queue.now, cores[core_index])
+        flight = (
+            self.flight_recorders[device] if self._flight_enabled else None
+        )
+        if flight is not None:
+            # Everything recorded while the handler runs -- CIB deltas,
+            # verdict flips, the frames it sends -- points at the event
+            # that triggered it (the frame_rx or admin event).
+            flight.set_cause(flight_cause)
         tracer = self.tracer
         if not tracer.enabled:
             wall_start = _time.perf_counter()
@@ -318,6 +348,8 @@ class SimulatedNetwork:
             self._transmit(
                 device, destination, message, completion, parent_id=span_id
             )
+        if flight is not None:
+            flight.clear_cause()
 
     def _transmit(
         self,
@@ -347,6 +379,14 @@ class SimulatedNetwork:
             )
             if latency == float("inf"):
                 return  # hosts disconnected
+        # Stamp the sender's Lamport clock into the frame header.  This
+        # is unconditional (recorder enablement only gates *events*), so
+        # the wire traffic is byte-identical with forensics on or off.
+        # The clock value is threaded to the delivery explicitly: one
+        # message instance can fan out to several peers (link-state
+        # floods), each send getting its own stamp.
+        clock = self.flight_recorders[source].clock.tick()
+        object.__setattr__(message, "clock", clock)
         nbytes = 0
         if self.count_wire_bytes:
             payload = encode_message(message)
@@ -354,6 +394,14 @@ class SimulatedNetwork:
             if self.strict_wire:
                 message = decode_message(payload, self.factory)
         self.stats.record_transmit(source, destination, nbytes)
+        if self._flight_enabled:
+            self.flight_recorders[source].record(
+                "frame_tx",
+                kind=message_kind(message),
+                peer=destination,
+                plan=message.plan_id,
+                clock=clock,
+            )
         arrival = max(
             when + latency, self._channel_clock.get(link_key, 0.0)
         )
@@ -361,13 +409,27 @@ class SimulatedNetwork:
         recv_name = _recv_name(message) if self.tracer.enabled else "recv"
 
         def deliver(
-            device: str = destination, payload_message: Message = message
+            device: str = destination,
+            payload_message: Message = message,
+            frame_clock: int = clock,
         ) -> None:
+            recorder = self.flight_recorders[device]
+            recorder.clock.observe(frame_clock)
+            cause: Optional[int] = None
+            if recorder.enabled:
+                cause = recorder.record(
+                    "frame_rx",
+                    kind=message_kind(payload_message),
+                    peer=source,
+                    plan=payload_message.plan_id,
+                    clock=frame_clock,
+                )
             self._execute(
                 device,
                 lambda: self.verifiers[device].on_message(payload_message),
                 name=recv_name,
                 parent_id=parent_id,
+                flight_cause=cause,
             )
 
         self.queue.schedule(max(arrival, self.queue.now), deliver)
@@ -405,6 +467,17 @@ class SimulatedNetwork:
             )
         return elapsed
 
+    def _flight_admin(
+        self, device: str, kind: str, detail: str = ""
+    ) -> Optional[int]:
+        """Record one admin event -- the root cause of an operation's
+        cascade -- on ``device``'s flight recorder."""
+        if not self._flight_enabled:
+            return None
+        return self.flight_recorders[device].record(
+            "admin", kind=kind, detail=detail
+        )
+
     def install_plan(self, plan_id: str, plan: Plan) -> float:
         """Distribute tasks (planner-side, untimed) and run to quiescence."""
         self._plans[plan_id] = plan
@@ -412,13 +485,15 @@ class SimulatedNetwork:
         start = self.queue.now
         for device in plan.devices():
             verifier = self.verifiers[device]
+            cause = self._flight_admin(device, "install", plan_id)
             self.queue.schedule(
                 self.queue.now,
-                lambda v=verifier: self._execute(
+                lambda v=verifier, c=cause: self._execute(
                     v.device,
                     lambda: v.install_plan(plan_id, plan),
                     name="install_plan",
                     parent_id=op,
+                    flight_cause=c,
                 ),
             )
         elapsed = self.run_to_quiescence() - start
@@ -432,13 +507,15 @@ class SimulatedNetwork:
             self._plans[plan_id] = plan
             for device in plan.devices():
                 verifier = self.verifiers[device]
+                cause = self._flight_admin(device, "install", plan_id)
                 self.queue.schedule(
                     self.queue.now,
-                    lambda v=verifier, i=plan_id, p=plan: self._execute(
+                    lambda v=verifier, i=plan_id, p=plan, c=cause: self._execute(
                         v.device,
                         lambda: v.install_plan(i, p),
                         name="install_plan",
                         parent_id=op,
+                        flight_cause=c,
                     ),
                 )
         elapsed = self.run_to_quiescence() - start
@@ -453,13 +530,15 @@ class SimulatedNetwork:
         start = self.queue.now
         for device in devices or self.topology.devices:
             verifier = self.verifiers[device]
+            cause = self._flight_admin(device, "fib_burst")
             self.queue.schedule(
                 self.queue.now,
-                lambda v=verifier: self._execute(
+                lambda v=verifier, c=cause: self._execute(
                     v.device,
                     v.on_fib_changed,
                     name="fib_changed",
                     parent_id=op,
+                    flight_cause=c,
                 ),
             )
         elapsed = self.run_to_quiescence() - start
@@ -475,6 +554,7 @@ class SimulatedNetwork:
         start = self.queue.now
         mutate()
         verifier = self.verifiers[device]
+        cause = self._flight_admin(device, "fib_update", device)
         delay = self._host_latency(device, self.host_of(device))
         self.queue.schedule(
             self.queue.now + delay,
@@ -483,6 +563,7 @@ class SimulatedNetwork:
                 verifier.on_fib_changed,
                 name="fib_changed",
                 parent_id=op,
+                flight_cause=cause,
             ),
         )
         elapsed = self.run_to_quiescence() - start
@@ -503,13 +584,17 @@ class SimulatedNetwork:
         start = self.queue.now
         for device in (a, b):
             verifier = self.verifiers[device]
+            cause = self._flight_admin(
+                device, "link", f"{a}-{b} up={up}"
+            )
             self.queue.schedule(
                 self.queue.now,
-                lambda v=verifier: self._execute(
+                lambda v=verifier, c=cause: self._execute(
                     v.device,
                     lambda: v.on_link_event((a, b), up),
                     name="link_event",
                     parent_id=op,
+                    flight_cause=c,
                 ),
             )
         elapsed = self.run_to_quiescence() - start
@@ -572,3 +657,10 @@ class SimulatedNetwork:
             for verifier in self.verifiers.values()
             for violation in verifier.violations
         ]
+
+    def flight_dump(self) -> Dict[str, Dict[str, object]]:
+        """Per-device flight-recorder dumps (empty rings when disabled)."""
+        return {
+            device: recorder.dump()
+            for device, recorder in self.flight_recorders.items()
+        }

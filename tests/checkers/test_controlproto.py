@@ -38,8 +38,9 @@ def test_extraction_sees_the_full_vocabulary():
     surface = extract_control_surface(ROOT)
     assert surface is not None
     assert sorted(surface.sent) == sorted(surface.dispatch)
-    assert len(surface.dispatch) == 11
+    assert len(surface.dispatch) == 12
     assert "ping" in surface.dispatch and "stop" in surface.dispatch
+    assert "dump_flight" in surface.dispatch
     # The RUNTIME.md table documents exactly the dispatched vocabulary.
     assert sorted(surface.doc_ops) == sorted(surface.dispatch)
 
@@ -54,6 +55,28 @@ def test_deleted_dispatch_branch_is_ctrl001():
     found = _findings({str(WORKER_PATH): worker}, "CTRL001")
     assert any("'endpoints'" in f.message for f in found)
     assert all(f.path == str(LAUNCHER_PATH) for f in found)
+
+
+def test_deleted_dump_flight_branch_is_ctrl001():
+    worker = _read(WORKER_PATH).replace(
+        'if op == "dump_flight":', 'if op == "dump_flight_v2":'
+    )
+    found = _findings({str(WORKER_PATH): worker}, "CTRL001")
+    assert any("'dump_flight'" in f.message for f in found)
+
+
+def test_dropped_dump_flight_doc_row_is_ctrl005():
+    doc = _read(CONTROL_DOC_PATH)
+    kept = [
+        line
+        for line in doc.splitlines()
+        if not line.startswith("| `dump_flight`")
+    ]
+    found = _findings(
+        {str(CONTROL_DOC_PATH): "\n".join(kept) + "\n"}, "CTRL005"
+    )
+    assert len(found) == 1
+    assert "'dump_flight'" in found[0].message
 
 
 def test_dead_dispatch_branch_is_ctrl002():

@@ -16,6 +16,7 @@ from repro.checkers import check_protocol, extract_surface
 from repro.checkers.protocol import (
     DECODE_FUNCTION,
     ENCODE_FUNCTION,
+    FLIGHT_PATH,
     FUZZ_PATH,
     MESSAGES_PATH,
     VERIFIER_PATH,
@@ -146,7 +147,52 @@ def test_new_type_constant_without_plumbing_fails():
         ROOT, overrides={str(MESSAGES_PATH): mutated}
     )
     rules = {f.rule for f in findings if "TYPE_PING" in f.message}
-    assert rules == {"PROTO001", "PROTO002"}
+    assert rules == {"PROTO001", "PROTO002", "OBS002"}
+
+
+# -- OBS002: the flight-recorder event table tracks the frame types ------
+
+
+def test_surface_includes_flight_event_map():
+    surface = extract_surface(ROOT)
+    assert surface is not None
+    assert surface.flight_available
+    assert set(surface.flight_events) == set(EXPECTED_TYPES)
+
+
+@pytest.mark.parametrize("type_name", sorted(EXPECTED_TYPES))
+def test_deleting_any_flight_mapping_fails(type_name):
+    mutated = _read(FLIGHT_PATH).replace(f'"{type_name}"', '"TYPE_GONE"')
+    findings = check_protocol(ROOT, overrides={str(FLIGHT_PATH): mutated})
+    assert any(
+        f.rule == "OBS002"
+        and type_name in f.message
+        and f.path == str(MESSAGES_PATH)
+        for f in findings
+    )
+    # The bogus replacement key is itself flagged as stale, anchored in
+    # the flight module.
+    assert any(
+        f.rule == "OBS002"
+        and "TYPE_GONE" in f.message
+        and f.path == str(FLIGHT_PATH)
+        for f in findings
+    )
+
+
+def test_absent_flight_module_disables_obs002(tmp_path):
+    overrides = {str(MESSAGES_PATH): _read(MESSAGES_PATH)}
+    (tmp_path / MESSAGES_PATH.parent).mkdir(parents=True)
+    (tmp_path / MESSAGES_PATH).write_text(
+        _read(MESSAGES_PATH), encoding="utf-8"
+    )
+    surface = extract_surface(tmp_path, overrides=overrides)
+    assert surface is not None
+    assert not surface.flight_available
+    assert not any(
+        f.rule == "OBS002"
+        for f in check_protocol(tmp_path, overrides=overrides)
+    )
 
 
 def test_new_message_class_without_wiring_fails():

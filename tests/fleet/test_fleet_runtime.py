@@ -16,6 +16,7 @@ from repro.cli import _fleet_simulator_parity
 from repro.fleet.launcher import FleetLauncher, WorkerCrashed
 from repro.fleet.spec import FleetSpec
 from repro.obs.collector import Collector
+from repro.obs.flight import causal_chain, merge_dumps, render_chain
 
 from .conftest import port_base
 
@@ -111,6 +112,13 @@ class TestWorkerCrash:
                     await asyncio.sleep(0.1)
                 results["survivor"] = status
 
+                # The surviving shard's flight recorders captured the
+                # loss: grab their dumps before the fleet recovers.
+                flight = await launcher.call_worker(
+                    0, {"op": "dump_flight"}
+                )
+                results["flight"] = flight["flight"]
+
                 # Restart re-binds the planned ports and re-establishes;
                 # reinstalling only on the restarted shard suffices (the
                 # survivors re-OPEN and resend their plan state).
@@ -138,3 +146,28 @@ class TestWorkerCrash:
         assert _fleet_simulator_parity(
             spec, results["verdicts"], 0, lambda _: None
         )
+
+        # Forensics: surviving agents auto-snapshotted on the peer loss,
+        # and the causal chain behind the peer_down event names the dead
+        # peer's last session edge (what `repro explain` renders).
+        merged = merge_dumps(results["flight"])
+        assert any(
+            snap.get("reason") == "peer_down"
+            for snaps in merged["snapshots"].values()
+            for snap in snaps
+        )
+        downs = [
+            event
+            for event in merged["events"]
+            if event.get("etype") == "peer_down"
+        ]
+        assert downs, "survivors recorded no peer_down event"
+        target = downs[-1]
+        chain = causal_chain(merged, target=target)
+        assert chain[-1]["etype"] == "peer_down"
+        session_edges = [
+            event for event in chain if event.get("etype") == "session"
+        ]
+        assert session_edges, "chain does not reach a session FSM edge"
+        assert session_edges[-1]["peer"] == target["peer"]
+        assert target["peer"] in render_chain(chain)

@@ -1,0 +1,63 @@
+"""Cross-backend forensics parity: ``repro explain`` reconstructs the
+same causal chain from the simulator and the asyncio/TCP runtime.
+
+Both backends run the INet2 violation scenario behind ``repro explain``
+(deterministic blackhole at the first destination; see
+``repro.cli._explain_scenario``).  The chain target is pinned to a
+direct neighbor of the blackholed destination, whose flip is forced by
+the withdrawal arriving over the one link to the destination -- devices
+with multiple equal-cost arms can legitimately flip via a different
+last withdrawal under real-socket timing, neighbors cannot.  Clocks and
+wall times differ across backends (runtime keepalives tick the Lamport
+clock), so parity is asserted on :func:`chain_signature`.
+"""
+
+from repro.bench.workloads import build_workload
+from repro.cli import _explain_scenario
+from repro.obs.flight import (
+    causal_chain,
+    chain_signature,
+    find_verdict,
+    merge_dumps,
+)
+
+DATASET = "INet2"
+DESTINATIONS = 2
+
+
+def _forced_target():
+    """(blackholed destination, its sorted-first direct neighbor)."""
+    workload = build_workload(
+        DATASET, scale="bench", max_destinations=DESTINATIONS
+    )
+    topology = workload.topology
+    destination = next(iter(topology.devices_with_prefixes()))
+    return destination, sorted(topology.neighbors(destination))[0]
+
+
+def _chain_for(backend, destination, device):
+    dumps, description = _explain_scenario(
+        DATASET, backend, destinations=DESTINATIONS, max_updates=0
+    )
+    assert "blackhole" in description
+    merged = merge_dumps(dumps)
+    assert device in merged["devices"]
+    target = find_verdict(merged, device=device)
+    assert target is not None, f"{backend}: no verdict on {device}"
+    assert target["holds"] is False
+    assert target["prev"] is True  # a real flip, not the install verdict
+    chain = causal_chain(merged, target=target)
+    signature = chain_signature(chain)
+    # The chain tells the whole story: from the admin blackhole on the
+    # destination, over the wire, to the neighbor's verdict flip.
+    assert signature[0] == (destination, "admin", "fib_update")
+    assert signature[-1] == (device, "verdict", "holds=False")
+    assert any(etype == "frame_rx" for _, etype, _ in signature)
+    return signature
+
+
+def test_simulator_and_runtime_reconstruct_identical_chains():
+    destination, device = _forced_target()
+    simulator = _chain_for("simulator", destination, device)
+    runtime = _chain_for("runtime", destination, device)
+    assert simulator == runtime
