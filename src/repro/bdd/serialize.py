@@ -24,6 +24,11 @@ from repro.bdd.manager import FALSE, TRUE, BDDManager
 _HEADER = struct.Struct("!I")
 _NODE = struct.Struct("!III")
 
+#: Upper bound on serialized nodes: the u32 count prefix must hold the
+#: value, and a payload near this size would blow the DVM frame body cap
+#: long before the prefix wrapped.
+MAX_SERIALIZED_NODES = 0xFFFFFF
+
 
 def serialize_bdd(manager: BDDManager, root: int) -> bytes:
     """Encode the BDD rooted at ``root`` as bytes."""
@@ -46,6 +51,8 @@ def serialize_bdd(manager: BDDManager, root: int) -> bytes:
             stack.append((manager.high_of(node), False))
             stack.append((manager.low_of(node), False))
 
+    if len(order) > MAX_SERIALIZED_NODES:
+        raise ValueError("BDD too large to serialize")
     parts = [_HEADER.pack(len(order))]
     for node in order:
         parts.append(

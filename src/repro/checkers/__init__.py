@@ -38,6 +38,14 @@ The third tier is whole-program, same entry point:
 * :mod:`repro.checkers.modelcheck` again -- the launcher x worker
   lifecycle product explored to a fixpoint (FSM005-006).
 
+The fourth tier proves the wire format itself:
+
+* :mod:`repro.checkers.wirecheck` -- an abstract interpreter over the
+  DVM codec and the BDD serializer: symbolic byte cursors prove every
+  decode read bounds-checked, every length prefix guarded, and the
+  encode/decode/``docs/PROTOCOL.md`` field tables identical
+  (WIRE001-005).
+
 Run via ``python -m repro lint`` / ``python -m repro verify-static``
 (see :mod:`repro.checkers.cli`) or the library APIs :func:`run_lint`
 and :func:`run_verify_static`; ``--sarif`` emits SARIF 2.1.0 via
@@ -68,6 +76,11 @@ from repro.checkers.verifystatic import (
     VerifyReport,
     run_verify_static,
 )
+from repro.checkers.wirecheck import (
+    WIRE_RULES,
+    check_wire,
+    extract_wire_surface,
+)
 
 __all__ = [
     "Finding",
@@ -75,6 +88,7 @@ __all__ = [
     "RULES",
     "VERIFY_RULES",
     "VerifyReport",
+    "WIRE_RULES",
     "analyze_callgraph",
     "check_control",
     "check_fleet_model",
@@ -82,12 +96,14 @@ __all__ = [
     "check_model",
     "check_protocol",
     "check_raceflow",
+    "check_wire",
     "explore_fleet",
     "explore_product",
     "extract_control_surface",
     "extract_fleet_fsm",
     "extract_session_fsm",
     "extract_surface",
+    "extract_wire_surface",
     "lint_file",
     "parse_suppressions",
     "run_lint",

@@ -259,6 +259,14 @@ def render_verify_report(
             f"fixpoint ({completion})",
             file=stream,
         )
+    if report.wire_checked:
+        print(
+            f"wire model: {report.wire_messages} message layout(s) / "
+            f"{report.wire_fields} field(s) proven in lockstep "
+            f"({report.wire_reads_proven} bounded read(s), "
+            f"{report.wire_guards_proven} guarded prefix(es))",
+            file=stream,
+        )
 
     if stats:
         from repro.bench.reporting import print_table

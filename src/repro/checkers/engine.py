@@ -55,6 +55,7 @@ RULES: Dict[str, str] = {
     "PROTO003": "message class without a runtime dispatch handler",
     "PROTO004": "message class without a fuzz corpus entry",
     "PROTO005": "message class not wired to any TYPE_* constant",
+    "PROTO006": "message class without a maximum-length fuzz vector",
     "EXC001": "broad except that swallows the exception",
     "HYG001": "mutable default argument",
     "HYG002": "parameter shadows a builtin",

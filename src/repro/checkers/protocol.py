@@ -1,4 +1,4 @@
-"""Wire-protocol consistency checker (rules PROTO001-PROTO005, OBS002).
+"""Wire-protocol consistency checker (rules PROTO001-PROTO006, OBS002).
 
 A DVM message kind is *fully plumbed* when six artifacts agree:
 
@@ -10,7 +10,9 @@ A DVM message kind is *fully plumbed* when six artifacts agree:
    ``repro.runtime.transport.is_control_frame`` (session control);
 5. a fuzz corpus entry -- the class is constructed in the wire fuzz
    suite's ``sample_messages`` so truncation/corruption fuzzing covers
-   its codec path;
+   its codec path, *and* in ``max_length_messages`` so every kind is
+   exercised at the codec's length-prefix limits (strings at 0xFFFF,
+   count sets at the component cap; rule PROTO006);
 6. a flight-recorder event mapping -- the type appears in
    ``repro.obs.flight.FRAME_FLIGHT_EVENTS`` so forensic dumps can label
    frames of that kind (rule OBS002, both directions: a ``TYPE_*``
@@ -46,6 +48,7 @@ DECODE_FUNCTION = "_decode_body"
 DISPATCH_FUNCTIONS = ("on_message",)
 CONTROL_FUNCTIONS = ("is_control_frame",)
 FUZZ_FUNCTIONS = ("sample_messages",)
+MAXLEN_FUZZ_FUNCTIONS = ("max_length_messages",)
 
 #: The abstract base class; never wired to a TYPE_* constant.
 BASE_CLASSES = {"Message"}
@@ -62,6 +65,7 @@ class ProtocolSurface:
     message_classes: Dict[str, int] = field(default_factory=dict)
     dispatched_classes: Set[str] = field(default_factory=set)
     fuzzed_classes: Set[str] = field(default_factory=set)
+    maxlen_classes: Set[str] = field(default_factory=set)
     fuzz_available: bool = False
     flight_events: Dict[str, int] = field(default_factory=dict)
     flight_available: bool = False
@@ -255,6 +259,10 @@ def extract_surface(
             surface.fuzzed_classes |= _constructed_classes(
                 _function(fuzz, name)
             )
+        for name in MAXLEN_FUZZ_FUNCTIONS:
+            surface.maxlen_classes |= _constructed_classes(
+                _function(fuzz, name)
+            )
 
     flight = _parse(root, FLIGHT_PATH, overrides)
     if flight is not None:
@@ -313,6 +321,20 @@ def check_protocol(
                 f"{FUZZ_PATH.name}:sample_messages",
                 "add a representative instance so truncation/corruption "
                 "fuzzing covers its codec path",
+            )
+        if (
+            surface.fuzz_available
+            and cls is not None
+            and cls not in surface.maxlen_classes
+        ):
+            emit(
+                line,
+                "PROTO006",
+                f"{cls} ({type_name}) has no maximum-length fuzz vector "
+                f"in {FUZZ_PATH.name}:max_length_messages",
+                "add an instance saturating every length prefix (strings "
+                "at 0xFFFF, count sets at the component cap) so the "
+                "codec's limits stay exercised",
             )
         if surface.flight_available and type_name not in surface.flight_events:
             emit(

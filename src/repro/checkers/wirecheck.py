@@ -1,0 +1,1917 @@
+"""Tier-4 symbolic wire analysis (rules WIRE001-WIRE005).
+
+The DVM codec (``repro/dvm/messages.py``, ``repro/dvm/linkstate.py``)
+and the BDD serializer (``repro/bdd/serialize.py``) are the one part of
+the reproduction where a single-byte layout drift silently corrupts
+fleet-wide verdicts: every peer must agree on the frame grammar.  This
+checker *proves* the agreement statically, by abstract interpretation
+over the stdlib AST -- no imports, no execution:
+
+* each ``encode_message`` branch and ``_decode_body`` branch is
+  symbolically executed into a flat **field table** per ``TYPE_*``
+  (helper calls like ``_pack_str``/``_unpack_str`` summarize to one
+  field; length-prefixed loops become repeated groups);
+* decode walks carry an **abstract byte cursor**: a symbolic linear
+  expression over unpacked lengths, advanced by every read, with the
+  proven-safe bound raised by each ``if offset + E > len(payload)``
+  guard -- a read not dominated by such a bound is a decode bomb;
+* encode walks collect raise-guards and demand one for every length
+  prefix (the ``_pack_str`` 0xFFFF guard is the required pattern).
+
+The rules:
+
+* **WIRE001** -- encode/decode field sequences disagree in type, width,
+  or order for one message kind (field-by-field diff in the finding).
+* **WIRE002** -- a decode read (``unpack_from`` or a bounded slice) is
+  not dominated by a bounds check against ``len(payload)``, or a
+  length-prefixed decode loop's stride can be zero with no guard
+  rejecting the zero case (the ``_unpack_countset`` dim == 0 class).
+* **WIRE003** -- a length prefix is written with one width and read
+  with another (e.g. u16 pack vs u32 unpack).
+* **WIRE004** -- an encode-side length prefix (or a value the decoder
+  uses as a loop bound) has no dominating guard capping it at a
+  constant the prefix width can represent.
+* **WIRE005** -- the AST-derived per-message field tables and the
+  ``docs/PROTOCOL.md`` tables diverge, in either direction (the CTRL005
+  style: stale rows and undocumented fields are both findings).
+
+Like the PROTO/CTRL checkers, ``overrides`` maps repo-relative paths to
+replacement source so drift tests can mutate one side without touching
+disk.  ``decode_stream`` is deliberately out of scope: it frames by
+slicing (which cannot over-read) and delegates every body to
+``decode_message``, which *is* analyzed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import struct
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.checkers.findings import Finding
+
+__all__ = [
+    "MESSAGES_PATH",
+    "LINKSTATE_PATH",
+    "SERIALIZE_PATH",
+    "WIRE_DOC_PATH",
+    "WIRE_RULES",
+    "FieldSpec",
+    "WireReport",
+    "check_wire",
+    "extract_wire_surface",
+]
+
+#: Repo-relative paths of the analyzed codec modules and the doc.
+MESSAGES_PATH = Path("src/repro/dvm/messages.py")
+LINKSTATE_PATH = Path("src/repro/dvm/linkstate.py")
+SERIALIZE_PATH = Path("src/repro/bdd/serialize.py")
+WIRE_DOC_PATH = Path("docs/PROTOCOL.md")
+
+#: Rule id -> one-line description (merged into VERIFY_RULES).
+WIRE_RULES: Dict[str, str] = {
+    "WIRE001": "encode/decode field sequences disagree (type/width/order)",
+    "WIRE002": "decode read not dominated by a bounds check (decode bomb)",
+    "WIRE003": "length prefix written and read with different widths",
+    "WIRE004": "encode-side value can exceed its prefix width, no guard",
+    "WIRE005": "codec field tables and docs/PROTOCOL.md tables diverge",
+}
+
+#: struct format char -> (byte width, kind label).
+_FORMAT_KINDS = {"B": (1, "u8"), "H": (2, "u16"), "I": (4, "u32"), "Q": (8, "u64")}
+
+#: Decode functions analyzed for WIRE002 (per module display path).
+DECODE_FUNCTIONS = (
+    "decode_message",
+    "_decode_body",
+    "_unpack_str",
+    "_unpack_bytes",
+    "_unpack_countset",
+    "decode_linkstate_body",
+    "deserialize_bdd",
+)
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+# ---------------------------------------------------------------------------
+# symbolic linear expressions (the abstract cursor domain)
+
+
+class Sym:
+    """A linear expression: ``const + sum(coeff * term)``.
+
+    Terms are canonical strings; a product of two single-coefficient
+    terms canonicalizes to the sorted factor list joined by ``*`` (so
+    ``size * dim * 4`` and the guard's ``4*dim*size`` unify).
+    """
+
+    __slots__ = ("terms", "const")
+
+    def __init__(self, terms: Optional[Dict[str, int]] = None, const: int = 0):
+        self.terms = {k: v for k, v in (terms or {}).items() if v != 0}
+        self.const = const
+
+    @classmethod
+    def constant(cls, value: int) -> "Sym":
+        return cls({}, value)
+
+    @classmethod
+    def term(cls, name: str) -> "Sym":
+        return cls({name: 1}, 0)
+
+    def __add__(self, other: "Sym") -> "Sym":
+        terms = dict(self.terms)
+        for key, coeff in other.terms.items():
+            terms[key] = terms.get(key, 0) + coeff
+        return Sym(terms, self.const + other.const)
+
+    def __sub__(self, other: "Sym") -> "Sym":
+        terms = dict(self.terms)
+        for key, coeff in other.terms.items():
+            terms[key] = terms.get(key, 0) - coeff
+        return Sym(terms, self.const - other.const)
+
+    def scaled(self, factor: int) -> "Sym":
+        return Sym(
+            {k: v * factor for k, v in self.terms.items()}, self.const * factor
+        )
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def nonnegative(self) -> bool:
+        """Provably >= 0 under 'every term is a nonnegative count'."""
+        return self.const >= 0 and all(v >= 0 for v in self.terms.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{v}*{k}" for k, v in sorted(self.terms.items())]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def sym_mul(a: Optional[Sym], b: Optional[Sym]) -> Optional[Sym]:
+    """Product of two linear expressions, when it stays linear."""
+    if a is None or b is None:
+        return None
+    if a.is_constant:
+        return b.scaled(a.const)
+    if b.is_constant:
+        return a.scaled(b.const)
+    if a.const == 0 and b.const == 0 and len(a.terms) == 1 and len(b.terms) == 1:
+        (ta, ca), = a.terms.items()
+        (tb, cb), = b.terms.items()
+        factors = sorted(ta.split("*") + tb.split("*"))
+        return Sym({"*".join(factors): ca * cb}, 0)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# field tables
+
+
+@dataclass
+class FieldSpec:
+    """One field of a message layout, or a repeated group."""
+
+    name: str
+    kind: str  # u8/u16/u32/u64/str/bytes/predicate/countset/group
+    path: str
+    line: int
+    width: int = 0  # byte width for scalar kinds
+    is_prefix: bool = False  # a length prefix / decode loop bound
+    count_name: str = ""  # group: the count field's display name
+    elems: Tuple["FieldSpec", ...] = ()
+
+    def type_label(self) -> str:
+        """The doc-table rendering of this field's type."""
+        if self.kind == "group":
+            inner = ", ".join(e.type_label() for e in self.elems)
+            return f"{self.count_name} * ({inner})"
+        return self.kind
+
+    def brief(self) -> str:
+        return f"{self.name}:{self.type_label()}"
+
+
+def _flatten_count(fields: Sequence[FieldSpec]) -> int:
+    total = 0
+    for spec in fields:
+        total += 1
+        if spec.kind == "group":
+            total += _flatten_count(spec.elems)
+    return total
+
+
+def _kinds_compatible(a: str, b: str) -> bool:
+    """predicate is a refined bytes: identical on the wire."""
+    if a == b:
+        return True
+    return {a, b} == {"bytes", "predicate"}
+
+
+# ---------------------------------------------------------------------------
+# module loading
+
+
+@dataclass
+class WireModule:
+    display: str
+    tree: ast.Module
+    structs: Dict[str, str] = field(default_factory=dict)  # name -> format
+    consts: Dict[str, int] = field(default_factory=dict)
+    functions: Dict[str, FunctionNode] = field(default_factory=dict)
+
+
+def _parse_source(
+    root: Path, relative: Path, overrides: Dict[str, str]
+) -> Optional[ast.Module]:
+    key = str(relative)
+    if key in overrides:
+        return ast.parse(overrides[key], filename=key)
+    path = root / relative
+    if not path.is_file():
+        return None
+    return ast.parse(path.read_text(encoding="utf-8"), filename=key)
+
+
+def _read_text(
+    root: Path, relative: Path, overrides: Dict[str, str]
+) -> Optional[str]:
+    key = str(relative)
+    if key in overrides:
+        return overrides[key]
+    path = root / relative
+    if not path.is_file():
+        return None
+    return path.read_text(encoding="utf-8")
+
+
+def _fold_const(node: ast.expr, consts: Dict[str, int]) -> Optional[int]:
+    """Evaluate a module-level integer constant expression."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.Name):
+        return consts.get(node.id)
+    if isinstance(node, ast.BinOp):
+        left = _fold_const(node.left, consts)
+        right = _fold_const(node.right, consts)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.FloorDiv) and right:
+            return left // right
+        if isinstance(node.op, ast.Pow):
+            return left ** right
+    return None
+
+
+def _load_module(
+    root: Path, relative: Path, overrides: Dict[str, str]
+) -> Optional[WireModule]:
+    tree = _parse_source(root, relative, overrides)
+    if tree is None:
+        return None
+    module = WireModule(display=str(relative), tree=tree)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.functions[node.name] = node
+            continue
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "Struct"
+            and value.args
+            and isinstance(value.args[0], ast.Constant)
+            and isinstance(value.args[0].value, str)
+        ):
+            module.structs[target.id] = value.args[0].value
+        else:
+            folded = _fold_const(value, module.consts)
+            if folded is not None:
+                module.consts[target.id] = folded
+    return module
+
+
+def _format_units(fmt: str) -> Optional[List[Tuple[int, str]]]:
+    """Per-field (width, kind) units of a struct format, or None."""
+    units: List[Tuple[int, str]] = []
+    for char in fmt:
+        if char in "!<>=@ ":
+            continue
+        if char not in _FORMAT_KINDS:
+            return None
+        units.append(_FORMAT_KINDS[char])
+    return units
+
+
+def _calcsize(fmt: str) -> int:
+    try:
+        return struct.calcsize(fmt)
+    except struct.error:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+
+
+def _expr_name(node: ast.expr) -> str:
+    """Short display name for a packed/unpacked value expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        base = _expr_name(node.value)
+        if isinstance(node.slice, ast.Constant):
+            return f"{base}[{node.slice.value!r}]".replace("'", "")
+        return f"{base}[...]"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+        and node.args
+    ):
+        return f"len({_expr_name(node.args[0])})"
+    if isinstance(node, ast.IfExp):
+        return _expr_name(node.body)
+    return "<expr>"
+
+
+def _is_len_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+        and len(node.args) == 1
+    )
+
+
+def _dump(node: ast.expr) -> str:
+    return ast.dump(node)
+
+
+@dataclass
+class Guard:
+    """One raise-guard comparison: ``if LEFT > LIMIT: raise``."""
+
+    left: ast.expr
+    limit: int
+    line: int
+
+
+def _collect_guards(
+    fn: FunctionNode, consts: Dict[str, int]
+) -> List[Guard]:
+    """Every raise-guard upper-bound comparison in ``fn`` (flow-free)."""
+    guards: List[Guard] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If):
+            continue
+        if not (len(node.body) == 1 and isinstance(node.body[0], ast.Raise)):
+            continue
+        tests = (
+            node.test.values
+            if isinstance(node.test, ast.BoolOp)
+            and isinstance(node.test.op, ast.Or)
+            else [node.test]
+        )
+        for test in tests:
+            if not (
+                isinstance(test, ast.Compare)
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], (ast.Gt, ast.GtE))
+                and len(test.comparators) == 1
+            ):
+                continue
+            limit = _fold_const(test.comparators[0], consts)
+            if limit is None:
+                continue
+            guards.append(Guard(left=test.left, limit=limit, line=node.lineno))
+    return guards
+
+
+def _guard_covers(guards: List[Guard], value: ast.expr, maximum: int) -> bool:
+    """A guard whose left side contains ``value`` and caps it <= maximum."""
+    wanted = _dump(value)
+    for guard in guards:
+        if guard.limit > maximum:
+            continue
+        for sub in ast.walk(guard.left):
+            if isinstance(sub, ast.expr) and _dump(sub) == wanted:
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# encode-side extraction
+
+
+@dataclass
+class PackWrite:
+    """One scalar struct write on the encode side."""
+
+    name: str
+    width: int
+    kind: str
+    line: int
+    value: ast.expr
+    is_len: bool
+    in_loop: bool
+
+
+class _EncodeExtractor:
+    """Flattens one encode branch into a field table + pack writes."""
+
+    def __init__(self, program: "WireProgram", module: WireModule):
+        self.program = program
+        self.module = module
+
+    def _struct_format(self, name: str) -> Optional[str]:
+        return self.program.struct_format(self.module, name)
+
+    def flatten(self, node: ast.expr) -> List[FieldSpec]:
+        """Field specs emitted by one bytes-producing expression."""
+        display = self.module.display
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            return self.flatten(node.left) + self.flatten(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            # b"".join([...]) / b"".join(parts)
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "join"
+                and node.args
+            ):
+                arg = node.args[0]
+                if isinstance(arg, (ast.List, ast.Tuple)):
+                    fields: List[FieldSpec] = []
+                    for elt in arg.elts:
+                        fields.extend(self.flatten(elt))
+                    return fields
+                return []
+            if isinstance(func, ast.Name):
+                helper = func.id
+                if helper.startswith("_pack_") and node.args:
+                    kind = helper[len("_pack_"):]
+                    arg = node.args[0]
+                    name = _expr_name(arg)
+                    if kind == "bytes" and isinstance(arg, ast.Call):
+                        inner = arg.func
+                        if (
+                            isinstance(inner, ast.Attribute)
+                            and inner.attr == "to_bytes"
+                        ):
+                            kind = "predicate"
+                            name = _expr_name(inner.value)
+                    return [
+                        FieldSpec(
+                            name=name,
+                            kind=kind,
+                            path=display,
+                            line=node.lineno,
+                        )
+                    ]
+                # cross-module delegation: encode_linkstate_body(message)
+                target = self.program.resolve_function(self.module, helper)
+                if target is not None and helper.startswith("encode"):
+                    target_module, target_fn = target
+                    return _EncodeExtractor(
+                        self.program, target_module
+                    ).extract_function(target_fn)
+            if isinstance(func, ast.Attribute) and func.attr == "pack":
+                owner = func.value
+                if isinstance(owner, ast.Name):
+                    fmt = self._struct_format(owner.id)
+                    units = _format_units(fmt) if fmt else None
+                    if units is not None:
+                        fields = []
+                        for (width, kind), arg in zip(units, node.args):
+                            is_len = _is_len_call(arg)
+                            fields.append(
+                                FieldSpec(
+                                    name=_expr_name(arg),
+                                    kind=kind,
+                                    path=display,
+                                    line=node.lineno,
+                                    width=width,
+                                    is_prefix=is_len,
+                                )
+                            )
+                        return fields
+        return []
+
+    def extract_function(self, fn: FunctionNode) -> List[FieldSpec]:
+        """Extract the general path of a whole encode function."""
+        fields, _ = self.extract_body(list(fn.body))
+        return fields
+
+    def extract_body(
+        self, body: List[ast.stmt]
+    ) -> Tuple[List[FieldSpec], Optional[str]]:
+        """Walk one statement list; returns (fields, TYPE_* name)."""
+        display = self.module.display
+        acc: List[FieldSpec] = []
+        parts_name: Optional[str] = None
+        final: Optional[List[FieldSpec]] = None
+        type_name: Optional[str] = None
+
+        def prefix_dump_map() -> Dict[str, FieldSpec]:
+            mapping: Dict[str, FieldSpec] = {}
+            for spec in acc:
+                if spec.is_prefix and spec.count_name:
+                    mapping[spec.count_name] = spec
+            return mapping
+
+        for stmt in body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if (
+                        isinstance(stmt.value, ast.Name)
+                        and stmt.value.id.startswith("TYPE_")
+                    ):
+                        type_name = stmt.value.id
+                        continue
+                    if isinstance(stmt.value, ast.List):
+                        parts_name = target.id
+                        acc = []
+                        for elt in stmt.value.elts:
+                            for spec in self.flatten(elt):
+                                self._link_prefix(spec, elt, acc)
+                                acc.append(spec)
+                        continue
+                    flattened = self.flatten(stmt.value)
+                    if flattened:
+                        final = flattened
+                    elif (
+                        isinstance(stmt.value, ast.Call)
+                        and isinstance(stmt.value.func, ast.Attribute)
+                        and stmt.value.func.attr == "join"
+                        and parts_name is not None
+                    ):
+                        final = acc
+                    continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                call = stmt.value
+                if (
+                    isinstance(call.func, ast.Attribute)
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == parts_name
+                ):
+                    if call.func.attr == "append" and call.args:
+                        for spec in self.flatten(call.args[0]):
+                            self._link_prefix(spec, call.args[0], acc)
+                            acc.append(spec)
+                    elif call.func.attr == "extend" and call.args:
+                        arg = call.args[0]
+                        if isinstance(arg, ast.GeneratorExp):
+                            elems = tuple(self.flatten(arg.elt))
+                            iter_expr = arg.generators[0].iter
+                            group = FieldSpec(
+                                name=_expr_name(iter_expr),
+                                kind="group",
+                                path=display,
+                                line=stmt.lineno,
+                                elems=elems,
+                            )
+                            self._bind_group_count(group, iter_expr, acc)
+                            acc.append(group)
+                continue
+            if isinstance(stmt, ast.For):
+                elems: List[FieldSpec] = []
+                for inner in stmt.body:
+                    if (
+                        isinstance(inner, ast.Expr)
+                        and isinstance(inner.value, ast.Call)
+                        and isinstance(inner.value.func, ast.Attribute)
+                        and inner.value.func.attr == "append"
+                        and isinstance(inner.value.func.value, ast.Name)
+                        and inner.value.func.value.id == parts_name
+                        and inner.value.args
+                    ):
+                        elems.extend(self.flatten(inner.value.args[0]))
+                if elems:
+                    group = FieldSpec(
+                        name=_expr_name(stmt.iter),
+                        kind="group",
+                        path=display,
+                        line=stmt.lineno,
+                        elems=tuple(elems),
+                    )
+                    self._bind_group_count(group, stmt.iter, acc)
+                    acc.append(group)
+                continue
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                flattened = self.flatten(stmt.value)
+                if flattened:
+                    final = flattened
+                continue
+            # raise-guards, imports, docstrings, early terminal returns
+            # (``if root == FALSE: return ...``) contribute no fields.
+        if final is None:
+            final = acc
+        return final, type_name
+
+    def _link_prefix(
+        self, spec: FieldSpec, expr: ast.expr, acc: List[FieldSpec]
+    ) -> None:
+        """Remember what collection a ``pack(len(X))`` prefix counts."""
+        if not spec.is_prefix:
+            return
+        for sub in ast.walk(expr):
+            if _is_len_call(sub):
+                spec.count_name = _dump(sub.args[0])
+                return
+
+    def _bind_group_count(
+        self, group: FieldSpec, iter_expr: ast.expr, acc: List[FieldSpec]
+    ) -> None:
+        """Pair a repetition group with its preceding count prefix."""
+        wanted = _dump(iter_expr)
+        for spec in reversed(acc):
+            if spec.is_prefix and spec.count_name == wanted:
+                group.count_name = spec.name
+                return
+        if acc and acc[-1].is_prefix:
+            group.count_name = acc[-1].name
+
+
+def _collect_pack_writes(
+    fn: FunctionNode, module: WireModule, program: "WireProgram"
+) -> List[PackWrite]:
+    """Every scalar ``S.pack`` write in ``fn``, with loop nesting."""
+    writes: List[PackWrite] = []
+
+    def visit(node: ast.AST, in_loop: bool) -> None:
+        loop_here = in_loop or isinstance(
+            node, (ast.For, ast.While, ast.GeneratorExp, ast.ListComp)
+        )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pack"
+            and isinstance(node.func.value, ast.Name)
+        ):
+            fmt = program.struct_format(module, node.func.value.id)
+            units = _format_units(fmt) if fmt else None
+            if units is not None:
+                for (width, kind), arg in zip(units, node.args):
+                    writes.append(
+                        PackWrite(
+                            name=_expr_name(arg),
+                            width=width,
+                            kind=kind,
+                            line=node.lineno,
+                            value=arg,
+                            is_len=_is_len_call(arg),
+                            in_loop=loop_here,
+                        )
+                    )
+        for child in ast.iter_child_nodes(node):
+            visit(child, loop_here)
+
+    visit(fn, False)
+    writes.sort(key=lambda w: (w.line,))
+    return writes
+
+
+# ---------------------------------------------------------------------------
+# decode-side abstract interpretation
+
+
+@dataclass
+class DecodeRead:
+    """One raw read the walker must prove in-bounds."""
+
+    line: int
+    name: str
+    width_label: str
+
+
+class _DecodeWalker:
+    """Symbolically executes one decode function or branch body."""
+
+    def __init__(
+        self,
+        program: "WireProgram",
+        module: WireModule,
+        payload_name: str,
+        *,
+        deferred: bool = False,
+    ):
+        self.program = program
+        self.module = module
+        self.payload = payload_name
+        self.deferred = deferred
+        self.env: Dict[str, Sym] = {}
+        self.checked: Optional[Sym] = None
+        self.zero_guarded: Set[str] = set()
+        self.fields: List[FieldSpec] = []
+        self.findings: List[Finding] = []
+        self.reads_proven = 0
+        self.deferred_reads: List[DecodeRead] = []
+        self.loop_bounds: Set[str] = set()
+        self._fresh = 0
+        self._last_bytes_field: Dict[str, FieldSpec] = {}
+
+    # -- expression evaluation ------------------------------------------
+
+    def fresh(self, label: str) -> Sym:
+        self._fresh += 1
+        return Sym.term(f"{label}#{self._fresh}")
+
+    def _eval(self, node: ast.expr) -> Optional[Sym]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return Sym.constant(node.value)
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            folded = self.program.const(self.module, node.id)
+            if folded is not None:
+                return Sym.constant(folded)
+            value = Sym.term(node.id)
+            self.env[node.id] = value
+            return value
+        if isinstance(node, ast.Attribute):
+            if node.attr == "size" and isinstance(node.value, ast.Name):
+                fmt = self.program.struct_format(self.module, node.value.id)
+                if fmt:
+                    return Sym.constant(_calcsize(fmt))
+            return None
+        if _is_len_call(node):
+            arg = node.args[0]
+            if isinstance(arg, ast.Name) and arg.id == self.payload:
+                return Sym.term("__len__")
+            return None
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left)
+            right = self._eval(node.right)
+            if left is None or right is None:
+                return None
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return sym_mul(left, right)
+        return None
+
+    def _is_len_of_payload(self, node: ast.expr) -> bool:
+        return (
+            _is_len_call(node)
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id == self.payload
+        )
+
+    # -- read proving ---------------------------------------------------
+
+    def _prove_read(
+        self, pos: Optional[Sym], width: Sym, line: int, name: str
+    ) -> None:
+        read = DecodeRead(line=line, name=name, width_label=repr(width))
+        if self.deferred:
+            self.deferred_reads.append(read)
+            return
+        ok = False
+        if pos is not None and self.checked is not None:
+            slack = self.checked - pos - width
+            ok = slack.nonnegative()
+        if ok:
+            self.reads_proven += 1
+        else:
+            self.findings.append(
+                Finding(
+                    path=self.module.display,
+                    line=line,
+                    col=1,
+                    rule="WIRE002",
+                    message=(
+                        f"decode read of '{name}' is not dominated by a "
+                        f"bounds check against len({self.payload}): a "
+                        "truncated or crafted frame over-reads here"
+                    ),
+                    hint=(
+                        "guard the read with "
+                        f"`if offset + ... > len({self.payload}): raise "
+                        "MessageDecodeError(...)` before unpacking"
+                    ),
+                )
+            )
+
+    # -- guards ---------------------------------------------------------
+
+    def _apply_guard(self, test: ast.expr, line: int) -> None:
+        """Raise-guard: record what its *negation* proves."""
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            # `if dim == 0 and size != 0: raise` -- past this point a
+            # zero count-stride is impossible, which is exactly what
+            # zero-stride loop proving needs.
+            names = [
+                value.left.id
+                for value in test.values
+                if isinstance(value, ast.Compare)
+                and isinstance(value.left, ast.Name)
+                and len(value.ops) == 1
+                and isinstance(value.ops[0], ast.Eq)
+                and isinstance(value.comparators[0], ast.Constant)
+                and value.comparators[0].value == 0
+            ]
+            self.zero_guarded.update(names)
+            return
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and len(test.comparators) == 1
+        ):
+            return
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        new_checked: Optional[Sym] = None
+        if isinstance(op, (ast.Gt, ast.GtE)) and self._is_len_of_payload(right):
+            new_checked = self._eval(left)
+        elif isinstance(op, (ast.Lt, ast.LtE)) and self._is_len_of_payload(
+            left
+        ):
+            new_checked = self._eval(right)
+        elif isinstance(op, ast.NotEq):
+            if self._is_len_of_payload(left):
+                new_checked = self._eval(right)
+            elif self._is_len_of_payload(right):
+                new_checked = self._eval(left)
+        if new_checked is None:
+            return
+        if self.checked is None or (new_checked - self.checked).nonnegative():
+            self.checked = new_checked
+
+    # -- statement walking ----------------------------------------------
+
+    def walk(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._walk_assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name) and isinstance(
+                stmt.op, ast.Add
+            ):
+                current = self.env.get(stmt.target.id)
+                delta = self._eval(stmt.value)
+                if current is not None and delta is not None:
+                    self.env[stmt.target.id] = current + delta
+                else:
+                    self.env[stmt.target.id] = self.fresh(stmt.target.id)
+        elif isinstance(stmt, ast.If):
+            if len(stmt.body) == 1 and isinstance(stmt.body[0], ast.Raise):
+                self._apply_guard(stmt.test, stmt.lineno)
+            elif not (
+                len(stmt.body) == 1
+                and isinstance(stmt.body[0], (ast.Return, ast.Continue))
+            ):
+                self.walk(stmt.body)
+                self.walk(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self._walk_for(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._walk_expr_stmt(stmt)
+        elif isinstance(stmt, ast.Try):
+            self.walk(stmt.body)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._check_slice_reads(stmt.value, stmt.lineno, "<return>")
+        # Raise / Import / While / docstrings: no wire effect.
+
+    def _offset_var(self, body: List[ast.stmt]) -> str:
+        for node in body:
+            for child in ast.walk(node):
+                if isinstance(child, ast.AugAssign) and isinstance(
+                    child.target, ast.Name
+                ):
+                    return child.target.id
+        return "offset"
+
+    def _walk_assign(self, stmt: ast.Assign) -> None:
+        targets = stmt.targets
+        value = stmt.value
+        display = self.module.display
+        if len(targets) != 1:
+            return
+        target = targets[0]
+
+        # `v, offset = _unpack_X(payload, offset)` -- helper summary.
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            helper = value.func.id
+            if helper.startswith("_unpack_") and isinstance(
+                target, ast.Tuple
+            ):
+                kind = helper[len("_unpack_"):]
+                names = [
+                    t.id if isinstance(t, ast.Name) else "_"
+                    for t in target.elts
+                ]
+                spec = FieldSpec(
+                    name=names[0],
+                    kind=kind,
+                    path=display,
+                    line=stmt.lineno,
+                )
+                self.fields.append(spec)
+                if kind == "bytes":
+                    self._last_bytes_field[names[0]] = spec
+                for name in names:
+                    self.env[name] = self.fresh(name)
+                # The helper bounds-checks internally and returns the
+                # new cursor: nothing past it is proven readable yet.
+                if len(names) > 1:
+                    self.checked = self.env[names[-1]]
+                return
+            if helper.startswith("decode") and isinstance(target, ast.Name):
+                self.env[target.id] = self.fresh(target.id)
+                return
+
+        # `x = factory.from_bytes(raw)` -- refine bytes -> predicate.
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "from_bytes"
+            and value.args
+            and isinstance(value.args[0], ast.Name)
+            and value.args[0].id in self._last_bytes_field
+        ):
+            spec = self._last_bytes_field.pop(value.args[0].id)
+            spec.kind = "predicate"
+            if isinstance(target, ast.Name):
+                spec.name = target.id
+                self.env[target.id] = self.fresh(target.id)
+            return
+
+        # `(a,) = S.unpack_from(payload, pos)` / `a, b, c = ...`.
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "unpack_from"
+            and isinstance(value.func.value, ast.Name)
+        ):
+            fmt = self.program.struct_format(self.module, value.func.value.id)
+            units = _format_units(fmt) if fmt else None
+            width = _calcsize(fmt) if fmt else 0
+            pos = (
+                self._eval(value.args[1])
+                if len(value.args) > 1
+                else Sym.constant(0)
+            )
+            names: List[str] = []
+            if isinstance(target, ast.Tuple):
+                names = [
+                    t.id if isinstance(t, ast.Name) else "_"
+                    for t in target.elts
+                ]
+            elif isinstance(target, ast.Name):
+                names = [target.id]
+            label = ", ".join(names) or "<unpack>"
+            self._prove_read(pos, Sym.constant(width), stmt.lineno, label)
+            if units is not None and len(units) == len(names):
+                for (unit_width, kind), name in zip(units, names):
+                    self.fields.append(
+                        FieldSpec(
+                            name=name,
+                            kind=kind,
+                            path=display,
+                            line=stmt.lineno,
+                            width=unit_width,
+                        )
+                    )
+            for name in names:
+                self.env[name] = Sym.term(name)
+            return
+
+        # bounded payload slice: `payload[a:b]...`
+        name = (
+            target.id if isinstance(target, ast.Name) else _expr_name(target)
+        )
+        if self._check_slice_reads(value, stmt.lineno, name):
+            if isinstance(target, ast.Name):
+                self.env[target.id] = self.fresh(target.id)
+            return
+        if isinstance(target, ast.Name):
+            evaluated = self._eval(value)
+            self.env[target.id] = (
+                evaluated if evaluated is not None else self.fresh(target.id)
+            )
+
+    def _check_slice_reads(
+        self, value: ast.expr, lineno: int, name: str
+    ) -> bool:
+        """Prove every bounded ``payload[a:b]`` slice in ``value``."""
+        found = False
+        for sub in ast.walk(value):
+            if (
+                isinstance(sub, ast.Subscript)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == self.payload
+                and isinstance(sub.slice, ast.Slice)
+                and sub.slice.upper is not None
+            ):
+                found = True
+                upper = self._eval(sub.slice.upper)
+                self._prove_read(
+                    Sym.constant(0),
+                    upper if upper is not None else Sym.term("?"),
+                    lineno,
+                    name,
+                )
+        return found
+
+    def _walk_expr_stmt(self, stmt: ast.Expr) -> None:
+        value = stmt.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "append"
+            and value.args
+        ):
+            arg = value.args[0]
+            for sub in ast.walk(arg):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "from_bytes"
+                    and sub.args
+                    and isinstance(sub.args[0], ast.Name)
+                    and sub.args[0].id in self._last_bytes_field
+                ):
+                    spec = self._last_bytes_field.pop(sub.args[0].id)
+                    spec.kind = "predicate"
+
+    def _walk_for(self, stmt: ast.For) -> None:
+        if not (
+            isinstance(stmt.iter, ast.Call)
+            and isinstance(stmt.iter.func, ast.Name)
+            and stmt.iter.func.id == "range"
+            and len(stmt.iter.args) == 1
+        ):
+            return
+        count_expr = stmt.iter.args[0]
+        count_sym = self._eval(count_expr)
+        count_name = _expr_name(count_expr)
+        self.loop_bounds.add(count_name)
+
+        offset_var = self._offset_var(stmt.body)
+        inner = _DecodeWalker(
+            self.program, self.module, self.payload, deferred=True
+        )
+        inner.env = dict(self.env)
+        base = self.fresh("loop")
+        inner.env[offset_var] = base
+        inner.zero_guarded = set(self.zero_guarded)
+        inner.walk(stmt.body)
+        # A nested loop's bound (e.g. the countset ``dim``) is a decode
+        # loop bound of this walk too -- WIRE004 demands its guard.
+        self.loop_bounds.update(inner.loop_bounds)
+
+        group_name = count_name
+        for node in stmt.body:
+            for child in ast.walk(node):
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "append"
+                    and isinstance(child.func.value, ast.Name)
+                ):
+                    group_name = child.func.value.id
+                    break
+        group = FieldSpec(
+            name=group_name,
+            kind="group",
+            path=self.module.display,
+            line=stmt.lineno,
+            count_name=count_name,
+            elems=tuple(inner.fields),
+        )
+        self.fields.append(group)
+
+        end = inner.env.get(offset_var)
+        delta = (end - base) if end is not None else None
+        base_key = next(iter(base.terms))
+        if delta is not None and base_key in delta.terms:
+            delta = None  # cursor was reset (helper calls) -- no stride
+
+        direct_reads = inner.deferred_reads
+        if not direct_reads:
+            # Helper-only body: every read is inside a self-bounding
+            # _unpack_* helper (each is proven separately and always
+            # advances the cursor), so the loop cannot over-read.
+            if offset_var in self.env:
+                self.env[offset_var] = self.fresh(offset_var)
+                self.checked = self.env[offset_var]
+            self.reads_proven += inner.reads_proven
+            return
+
+        total = sym_mul(count_sym, delta)
+        stride_ok = delta is not None and (
+            (delta.is_constant and delta.const > 0)
+            or (
+                delta.const == 0
+                and delta.terms
+                and all(
+                    all(
+                        factor in self.zero_guarded
+                        for factor in term.split("*")
+                    )
+                    for term in delta.terms
+                )
+            )
+            or (delta.const > 0)
+        )
+        bounds_ok = False
+        if total is not None and self.checked is not None:
+            cursor = self.env.get(offset_var)
+            if cursor is not None:
+                bounds_ok = (self.checked - cursor - total).nonnegative()
+        if self.deferred:
+            # Propagate to the enclosing loop's criterion.
+            self.deferred_reads.extend(direct_reads)
+            if total is not None and offset_var in self.env:
+                self.env[offset_var] = self.env[offset_var] + total
+            elif offset_var in self.env:
+                self.env[offset_var] = self.fresh(offset_var)
+            return
+        if bounds_ok and stride_ok:
+            self.reads_proven += len(direct_reads) + inner.reads_proven
+            if total is not None and offset_var in self.env:
+                self.env[offset_var] = self.env[offset_var] + total
+            return
+        first = direct_reads[0]
+        if not stride_ok:
+            message = (
+                f"decode loop over '{count_name}' can have a zero byte "
+                "stride: a crafted count makes the bounds check pass "
+                "vacuously while the loop allocates unboundedly"
+            )
+            hint = (
+                "reject the zero-stride case before the loop (e.g. "
+                "`if dim == 0 and size != 0: raise "
+                "MessageDecodeError(...)`) and cap the element count"
+            )
+        else:
+            message = (
+                f"decode loop read of '{first.name}' is not dominated by "
+                f"a bounds check against len({self.payload}) covering "
+                "the whole repetition"
+            )
+            hint = (
+                "bound the loop total before iterating: `if offset + "
+                f"{count_name} * <stride> > len({self.payload}): raise`"
+            )
+        self.findings.append(
+            Finding(
+                path=self.module.display,
+                line=first.line,
+                col=1,
+                rule="WIRE002",
+                message=message,
+                hint=hint,
+            )
+        )
+        if offset_var in self.env:
+            self.env[offset_var] = self.fresh(offset_var)
+
+
+# ---------------------------------------------------------------------------
+# the program: modules + resolution
+
+
+@dataclass
+class WireProgram:
+    messages: WireModule
+    linkstate: Optional[WireModule]
+    serialize: Optional[WireModule]
+
+    def _modules(self) -> List[WireModule]:
+        return [
+            m
+            for m in (self.messages, self.linkstate, self.serialize)
+            if m is not None
+        ]
+
+    def struct_format(
+        self, module: WireModule, name: str
+    ) -> Optional[str]:
+        if name in module.structs:
+            return module.structs[name]
+        for other in self._modules():
+            if name in other.structs:
+                return other.structs[name]
+        return None
+
+    def const(self, module: WireModule, name: str) -> Optional[int]:
+        if name in module.consts:
+            return module.consts[name]
+        for other in self._modules():
+            if name in other.consts:
+                return other.consts[name]
+        return None
+
+    def resolve_function(
+        self, module: WireModule, name: str
+    ) -> Optional[Tuple[WireModule, FunctionNode]]:
+        if name in module.functions:
+            return module, module.functions[name]
+        for other in self._modules():
+            if name in other.functions:
+                return other, other.functions[name]
+        return None
+
+
+def _payload_param(fn: FunctionNode) -> str:
+    preferred = ("payload", "body", "buffer", "raw", "data")
+    for arg in fn.args.args:
+        annotation = arg.annotation
+        if (
+            isinstance(annotation, ast.Name)
+            and annotation.id == "bytes"
+            and arg.arg not in ("raw",)
+        ):
+            return arg.arg
+    for arg in fn.args.args:
+        if arg.arg in preferred:
+            return arg.arg
+    return fn.args.args[0].arg if fn.args.args else "payload"
+
+
+# ---------------------------------------------------------------------------
+# doc tables (WIRE005)
+
+
+@dataclass
+class DocTable:
+    heading: str
+    heading_line: int
+    header_line: int
+    rows: List[Tuple[str, str, int]] = field(default_factory=list)
+
+
+def _parse_doc_tables(text: str) -> Dict[int, DocTable]:
+    """Markdown ``| field | type |`` tables keyed by the TYPE number(s)
+    named ``(N)`` in the nearest preceding heading."""
+    tables: Dict[int, DocTable] = {}
+    heading = ""
+    heading_line = 0
+    numbers: List[int] = []
+    current: Optional[DocTable] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        match = re.match(r"^#{1,6}\s+(.*)$", line)
+        if match:
+            heading = match.group(1).strip()
+            heading_line = lineno
+            numbers = [int(n) for n in re.findall(r"\((\d+)\)", heading)]
+            current = None
+            continue
+        if not line.startswith("|"):
+            current = None
+            continue
+        cells = [cell.strip().strip("`") for cell in line.strip("|").split("|")]
+        if not cells:
+            continue
+        if current is None:
+            if cells[0].lower() == "field" and numbers:
+                current = DocTable(
+                    heading=heading,
+                    heading_line=heading_line,
+                    header_line=lineno,
+                )
+                for number in numbers:
+                    tables.setdefault(number, current)
+            continue
+        if set(cells[0]) <= {"-", ":", " "}:
+            continue
+        if len(cells) >= 2 and cells[0]:
+            current.rows.append((cells[0], cells[1], lineno))
+    return tables
+
+
+# ---------------------------------------------------------------------------
+# surface + report
+
+
+@dataclass
+class WireSurface:
+    """Everything extracted from the codec modules and PROTOCOL.md."""
+
+    program: WireProgram
+    encode_tables: Dict[str, List[FieldSpec]] = field(default_factory=dict)
+    decode_tables: Dict[str, List[FieldSpec]] = field(default_factory=dict)
+    type_numbers: Dict[str, int] = field(default_factory=dict)
+    doc_tables: Dict[int, DocTable] = field(default_factory=dict)
+    doc_available: bool = False
+    findings: List[Finding] = field(default_factory=list)
+    reads_proven: int = 0
+    guards_proven: int = 0
+    helper_fields: int = 0
+
+
+@dataclass
+class WireReport:
+    """Findings plus the evidence counters the CLI and bench print."""
+
+    findings: List[Finding] = field(default_factory=list)
+    messages_checked: int = 0
+    fields_checked: int = 0
+    reads_proven: int = 0
+    guards_proven: int = 0
+    elapsed_seconds: float = 0.0
+
+
+def extract_wire_surface(
+    root: Path, overrides: Optional[Dict[str, str]] = None
+) -> Optional[WireSurface]:
+    """Extract field tables and run the decode walks; None when the
+    messages module is absent."""
+    overrides = overrides or {}
+    messages = _load_module(root, MESSAGES_PATH, overrides)
+    if messages is None:
+        return None
+    program = WireProgram(
+        messages=messages,
+        linkstate=_load_module(root, LINKSTATE_PATH, overrides),
+        serialize=_load_module(root, SERIALIZE_PATH, overrides),
+    )
+    surface = WireSurface(program=program)
+
+    for name, value in messages.consts.items():
+        if name.startswith("TYPE_"):
+            surface.type_numbers[name] = value
+
+    # -- encode tables per TYPE_* ---------------------------------------
+    encode_fn = messages.functions.get("encode_message")
+    if encode_fn is not None:
+        extractor = _EncodeExtractor(program, messages)
+        for node in ast.walk(encode_fn):
+            if not isinstance(node, ast.If):
+                continue
+            fields, type_name = extractor.extract_body(list(node.body))
+            if type_name is not None and fields:
+                surface.encode_tables[type_name] = fields
+
+    # -- decode tables per TYPE_* + WIRE002 over every decode walk ------
+    decode_fn = messages.functions.get("_decode_body")
+    if decode_fn is not None:
+        payload = _payload_param(decode_fn)
+        prelude = _DecodeWalker(program, messages, payload)
+        for stmt in decode_fn.body:
+            branch_types = _branch_types(stmt)
+            if branch_types is None:
+                prelude._walk_stmt(stmt)
+                continue
+            walker = _DecodeWalker(program, messages, payload)
+            walker.env = dict(prelude.env)
+            walker.checked = prelude.checked
+            walker.zero_guarded = set(prelude.zero_guarded)
+            delegated = _delegated_decode(stmt.body, program, messages)
+            if delegated is not None:
+                target_module, target_fn = delegated
+                walker = _DecodeWalker(
+                    program, target_module, _payload_param(target_fn)
+                )
+                walker.walk(list(target_fn.body))
+            else:
+                walker.walk(stmt.body)
+            _mark_loop_bounds(walker)
+            for type_name in branch_types:
+                surface.decode_tables[type_name] = walker.fields
+            surface.findings.extend(walker.findings)
+            surface.reads_proven += walker.reads_proven
+        surface.findings.extend(prelude.findings)
+        surface.reads_proven += prelude.reads_proven
+
+    # -- standalone decode walks: helpers, frame header, BDD ------------
+    for fn_name in DECODE_FUNCTIONS:
+        if fn_name in ("_decode_body", "decode_linkstate_body"):
+            continue  # covered above (linkstate via delegation)
+        resolved = program.resolve_function(messages, fn_name)
+        if resolved is None:
+            continue
+        fn_module, fn = resolved
+        walker = _DecodeWalker(program, fn_module, _payload_param(fn))
+        walker.walk(list(fn.body))
+        _mark_loop_bounds(walker)
+        surface.findings.extend(walker.findings)
+        surface.reads_proven += walker.reads_proven
+        if fn_name == "deserialize_bdd":
+            surface.decode_tables["BDD"] = walker.fields
+
+    # -- the BDD serializer's encode table ------------------------------
+    if program.serialize is not None:
+        serialize_fn = program.serialize.functions.get("serialize_bdd")
+        if serialize_fn is not None:
+            fields = _EncodeExtractor(
+                program, program.serialize
+            ).extract_function(serialize_fn)
+            if fields:
+                surface.encode_tables["BDD"] = fields
+
+    # -- WIRE004 guard audit over every encode function -----------------
+    _audit_encode_guards(surface)
+
+    # -- WIRE003/WIRE001 over the _pack_X / _unpack_X helper pairs ------
+    _check_helper_pairs(surface)
+
+    # -- the doc --------------------------------------------------------
+    doc = _read_text(root, WIRE_DOC_PATH, overrides)
+    if doc is not None:
+        surface.doc_available = True
+        surface.doc_tables = _parse_doc_tables(doc)
+    return surface
+
+
+def _branch_types(stmt: ast.stmt) -> Optional[List[str]]:
+    """TYPE_* names a ``_decode_body`` branch handles, else None."""
+    if not isinstance(stmt, ast.If):
+        return None
+    test = stmt.test
+    if (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == "kind"
+        and len(test.ops) == 1
+    ):
+        comparator = test.comparators[0]
+        if isinstance(test.ops[0], ast.Eq) and isinstance(
+            comparator, ast.Name
+        ):
+            return [comparator.id]
+        if isinstance(test.ops[0], ast.In) and isinstance(
+            comparator, ast.Tuple
+        ):
+            return [
+                elt.id
+                for elt in comparator.elts
+                if isinstance(elt, ast.Name)
+            ]
+    return None
+
+
+def _delegated_decode(
+    body: List[ast.stmt], program: WireProgram, module: WireModule
+) -> Optional[Tuple[WireModule, FunctionNode]]:
+    """``return decode_x_body(body)`` delegation inside a branch."""
+    for stmt in body:
+        if (
+            isinstance(stmt, ast.Return)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Name)
+            and stmt.value.func.id.startswith("decode")
+        ):
+            return program.resolve_function(module, stmt.value.func.id)
+    return None
+
+
+def _mark_loop_bounds(walker: _DecodeWalker) -> None:
+    """Scalar fields whose value bounds a decode loop are prefixes."""
+    for spec in walker.fields:
+        if spec.kind != "group" and spec.name in walker.loop_bounds:
+            spec.is_prefix = True
+
+
+def _audit_encode_guards(surface: WireSurface) -> None:
+    """WIRE004: every length prefix write needs a dominating guard, and
+    every write paired with a decode loop bound does too."""
+    program = surface.program
+
+    # Which positional header reads of each _unpack_X helper feed loops?
+    unpack_loop_bounds: Dict[str, List[bool]] = {}
+    for module in (program.messages, program.linkstate, program.serialize):
+        if module is None:
+            continue
+        for name, fn in module.functions.items():
+            if not name.startswith("_unpack_"):
+                continue
+            walker = _DecodeWalker(program, module, _payload_param(fn))
+            walker.walk(list(fn.body))
+            bounds = [
+                spec.name in walker.loop_bounds
+                for spec in walker.fields
+                if spec.kind not in ("group",)
+            ]
+            unpack_loop_bounds[name[len("_unpack_"):]] = bounds
+
+    for module in (program.messages, program.linkstate, program.serialize):
+        if module is None:
+            continue
+        for fn_name, fn in module.functions.items():
+            if not (
+                fn_name.startswith("encode")
+                or fn_name.startswith("_pack_")
+                or fn_name.startswith("serialize")
+            ):
+                continue
+            guards = _collect_guards(fn, dict(module.consts))
+            writes = _collect_pack_writes(fn, module, program)
+            loop_bounds: List[bool] = []
+            if fn_name.startswith("_pack_"):
+                loop_bounds = unpack_loop_bounds.get(
+                    fn_name[len("_pack_"):], []
+                )
+            header_index = 0
+            for write in writes:
+                required = write.is_len
+                if not write.in_loop:
+                    if (
+                        header_index < len(loop_bounds)
+                        and loop_bounds[header_index]
+                    ):
+                        required = True
+                    header_index += 1
+                if not required:
+                    continue
+                maximum = (1 << (8 * write.width)) - 1
+                if _guard_covers(guards, write.value, maximum):
+                    surface.guards_proven += 1
+                    continue
+                surface.findings.append(
+                    Finding(
+                        path=module.display,
+                        line=write.line,
+                        col=1,
+                        rule="WIRE004",
+                        message=(
+                            f"'{write.name}' is packed into a "
+                            f"{write.kind} prefix in {fn_name}() with no "
+                            "guard proving it fits "
+                            f"(max {maximum}): an oversized value wraps "
+                            "or raises struct.error mid-encode"
+                        ),
+                        hint=(
+                            "add the _pack_str pattern: `if "
+                            f"{write.name} > 0x...: raise ValueError"
+                            "(...)` before packing"
+                        ),
+                    )
+                )
+
+
+def _leaf_scalars(spec: FieldSpec) -> List[FieldSpec]:
+    """Scalar struct fields of a (possibly nested) repetition group."""
+    leaves: List[FieldSpec] = []
+    for elem in spec.elems:
+        if elem.kind == "group":
+            leaves.extend(_leaf_scalars(elem))
+        elif elem.width > 0:
+            leaves.append(elem)
+    return leaves
+
+
+def _check_helper_pairs(surface: WireSurface) -> None:
+    """Compare each ``_pack_X`` helper's writes against ``_unpack_X``'s
+    reads: header scalars positionally (width drift on a prefix is
+    WIRE003), loop elements positionally (WIRE001)."""
+    program = surface.program
+    seen: Set[str] = set()
+    for module in program._modules():
+        for name, fn in sorted(module.functions.items()):
+            if not name.startswith("_pack_") or name in seen:
+                continue
+            seen.add(name)
+            suffix = name[len("_pack_"):]
+            resolved = program.resolve_function(module, "_unpack_" + suffix)
+            if resolved is None:
+                continue
+            un_module, un_fn = resolved
+            walker = _DecodeWalker(
+                program, un_module, _payload_param(un_fn)
+            )
+            walker.walk(list(un_fn.body))
+            _mark_loop_bounds(walker)
+            dec_header = [
+                spec
+                for spec in walker.fields
+                if spec.kind != "group" and spec.width > 0
+            ]
+            dec_loop: List[FieldSpec] = []
+            for spec in walker.fields:
+                if spec.kind == "group":
+                    dec_loop.extend(_leaf_scalars(spec))
+            writes = _collect_pack_writes(fn, module, program)
+            enc_header = [w for w in writes if not w.in_loop]
+            enc_loop = [w for w in writes if w.in_loop]
+            surface.helper_fields += len(dec_header) + len(dec_loop)
+            for index, (write, spec) in enumerate(
+                zip(enc_header, dec_header)
+            ):
+                if write.width == spec.width:
+                    continue
+                rule = (
+                    "WIRE003" if write.is_len or spec.is_prefix else "WIRE001"
+                )
+                surface.findings.append(
+                    Finding(
+                        path=module.display,
+                        line=write.line,
+                        col=1,
+                        rule=rule,
+                        message=(
+                            f"{name}() header field {index + 1} "
+                            f"('{write.name}') is written as {write.kind} "
+                            f"but _unpack_{suffix}() reads '{spec.name}' "
+                            f"as {spec.kind}"
+                        ),
+                        hint=(
+                            "use the same struct width on both sides of "
+                            "the helper pair"
+                        ),
+                    )
+                )
+            if len(enc_header) != len(dec_header):
+                surface.findings.append(
+                    Finding(
+                        path=module.display,
+                        line=fn.lineno,
+                        col=1,
+                        rule="WIRE001",
+                        message=(
+                            f"{name}() writes {len(enc_header)} header "
+                            f"scalar(s) but _unpack_{suffix}() reads "
+                            f"{len(dec_header)}"
+                        ),
+                        hint="make the helper pair's header layouts agree",
+                    )
+                )
+            for index, (write, spec) in enumerate(zip(enc_loop, dec_loop)):
+                if write.width == spec.width:
+                    continue
+                surface.findings.append(
+                    Finding(
+                        path=module.display,
+                        line=write.line,
+                        col=1,
+                        rule="WIRE001",
+                        message=(
+                            f"{name}() loop element {index + 1} "
+                            f"('{write.name}') is written as {write.kind} "
+                            f"but _unpack_{suffix}() reads '{spec.name}' "
+                            f"as {spec.kind}"
+                        ),
+                        hint=(
+                            "use the same struct width on both sides of "
+                            "the helper pair"
+                        ),
+                    )
+                )
+
+
+def check_wire_surface(surface: WireSurface) -> Tuple[List[Finding], WireReport]:
+    """WIRE001/WIRE003 sequence compare + WIRE005 doc drift."""
+    findings: List[Finding] = list(surface.findings)
+    report = WireReport(
+        fields_checked=surface.helper_fields,
+        reads_proven=surface.reads_proven,
+        guards_proven=surface.guards_proven,
+    )
+
+    shared = sorted(
+        set(surface.encode_tables) & set(surface.decode_tables)
+    )
+    for key in shared:
+        report.messages_checked += 1
+        encode = surface.encode_tables[key]
+        decode = surface.decode_tables[key]
+        report.fields_checked += _flatten_count(decode)
+        findings.extend(_compare_tables(key, encode, decode))
+
+    findings.extend(_check_doc(surface))
+    findings.sort()
+    report.findings = findings
+    return findings, report
+
+
+def _compare_tables(
+    key: str, encode: List[FieldSpec], decode: List[FieldSpec]
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def diff_message(index: int, detail: str) -> str:
+        enc = ", ".join(f.brief() for f in encode) or "<empty>"
+        dec = ", ".join(f.brief() for f in decode) or "<empty>"
+        return (
+            f"{key}: encode and decode field sequences disagree at "
+            f"field {index + 1}: {detail} "
+            f"[encode: {enc}] [decode: {dec}]"
+        )
+
+    for index, (enc, dec) in enumerate(zip(encode, decode)):
+        if enc.kind == "group" or dec.kind == "group":
+            if enc.kind != dec.kind:
+                findings.append(
+                    Finding(
+                        path=enc.path,
+                        line=enc.line,
+                        col=1,
+                        rule="WIRE001",
+                        message=diff_message(
+                            index,
+                            f"encode emits {enc.brief()} but decode "
+                            f"expects {dec.brief()}",
+                        ),
+                        hint="make both sides agree on the repetition",
+                    )
+                )
+                continue
+            findings.extend(
+                _compare_tables(
+                    f"{key}.{dec.name}", list(enc.elems), list(dec.elems)
+                )
+            )
+            continue
+        if not _kinds_compatible(enc.kind, dec.kind):
+            scalar = {"u8", "u16", "u32", "u64"}
+            rule = (
+                "WIRE003"
+                if enc.kind in scalar
+                and dec.kind in scalar
+                and (enc.is_prefix or dec.is_prefix)
+                else "WIRE001"
+            )
+            if rule == "WIRE003":
+                detail = (
+                    f"length prefix '{enc.name}' is written as "
+                    f"{enc.kind} but read as {dec.kind} ('{dec.name}')"
+                )
+            else:
+                detail = (
+                    f"encode emits '{enc.name}' as {enc.kind} but "
+                    f"decode reads '{dec.name}' as {dec.kind}"
+                )
+            findings.append(
+                Finding(
+                    path=enc.path,
+                    line=enc.line,
+                    col=1,
+                    rule=rule,
+                    message=diff_message(index, detail),
+                    hint=(
+                        "align the struct widths on both sides of the "
+                        "codec (and update docs/PROTOCOL.md)"
+                    ),
+                )
+            )
+    if len(encode) != len(decode):
+        longer = encode if len(encode) > len(decode) else decode
+        side = "encode" if len(encode) > len(decode) else "decode"
+        extra = longer[min(len(encode), len(decode))]
+        findings.append(
+            Finding(
+                path=extra.path,
+                line=extra.line,
+                col=1,
+                rule="WIRE001",
+                message=diff_message(
+                    min(len(encode), len(decode)),
+                    f"{side} side has {len(longer)} field(s), the other "
+                    f"side stops before '{extra.name}'",
+                ),
+                hint="add the missing field to the shorter side or "
+                "drop the extra one",
+            )
+        )
+    return findings
+
+
+def _check_doc(surface: WireSurface) -> List[Finding]:
+    findings: List[Finding] = []
+    doc = str(WIRE_DOC_PATH)
+    if not surface.doc_available:
+        return findings
+    number_to_type = {
+        number: name for name, number in surface.type_numbers.items()
+    }
+
+    checked_tables: Set[int] = set()
+    for type_name, number in sorted(surface.type_numbers.items()):
+        table = surface.decode_tables.get(type_name)
+        if table is None:
+            continue
+        doc_table = surface.doc_tables.get(number)
+        if doc_table is None:
+            findings.append(
+                Finding(
+                    path=doc,
+                    line=1,
+                    col=1,
+                    rule="WIRE005",
+                    message=(
+                        f"no field table for {type_name} ({number}) in "
+                        "docs/PROTOCOL.md (a markdown table whose first "
+                        "header cell is 'field', under a heading naming "
+                        f"'({number})')"
+                    ),
+                    hint="document the message body as a field/type "
+                    "table so layout drift is machine-checked",
+                )
+            )
+            continue
+        checked_tables.add(id(doc_table))
+        expected = [(spec.name, spec.type_label()) for spec in table]
+        rows = doc_table.rows
+        for index in range(min(len(expected), len(rows))):
+            want_name, want_type = expected[index]
+            got_name, got_type, row_line = rows[index]
+            if want_name == got_name and want_type == got_type:
+                continue
+            findings.append(
+                Finding(
+                    path=doc,
+                    line=row_line,
+                    col=1,
+                    rule="WIRE005",
+                    message=(
+                        f"{type_name} field {index + 1} is "
+                        f"'{want_name} | {want_type}' in the codec but "
+                        f"documented as '{got_name} | {got_type}'"
+                    ),
+                    hint="update the row to match the decoder (or fix "
+                    "the codec if the doc is the intent)",
+                )
+            )
+        for index in range(len(rows), len(expected)):
+            want_name, want_type = expected[index]
+            findings.append(
+                Finding(
+                    path=doc,
+                    line=doc_table.header_line,
+                    col=1,
+                    rule="WIRE005",
+                    message=(
+                        f"{type_name} field '{want_name}' "
+                        f"({want_type}) is decoded but has no row in "
+                        "the docs/PROTOCOL.md table"
+                    ),
+                    hint="add the missing row",
+                )
+            )
+        for index in range(len(expected), len(rows)):
+            got_name, got_type, row_line = rows[index]
+            findings.append(
+                Finding(
+                    path=doc,
+                    line=row_line,
+                    col=1,
+                    rule="WIRE005",
+                    message=(
+                        f"docs/PROTOCOL.md documents {type_name} field "
+                        f"'{got_name}' ({got_type}) but the decoder "
+                        "reads no such field"
+                    ),
+                    hint="delete the stale row, or restore the field",
+                )
+            )
+
+    for number, doc_table in sorted(surface.doc_tables.items()):
+        if number in number_to_type:
+            continue
+        findings.append(
+            Finding(
+                path=doc,
+                line=doc_table.heading_line,
+                col=1,
+                rule="WIRE005",
+                message=(
+                    f"docs/PROTOCOL.md documents message type "
+                    f"({number}) under '{doc_table.heading}' but no "
+                    f"TYPE_* constant has value {number}"
+                ),
+                hint="delete the stale table, or add the frame type",
+            )
+        )
+    return findings
+
+
+def check_wire(
+    root: Path, overrides: Optional[Dict[str, str]] = None
+) -> WireReport:
+    """Extract + check in one call (absent codec -> empty report)."""
+    started = time.perf_counter()
+    surface = extract_wire_surface(root, overrides)
+    if surface is None:
+        return WireReport()
+    findings, report = check_wire_surface(surface)
+    report.findings = findings
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -55,6 +55,14 @@ _U32 = struct.Struct("!I")
 #: it keeps a stream decoder from buffering unbounded garbage.
 MAX_BODY_LENGTH = 16 * 1024 * 1024
 
+#: Upper bound on the total u32 components of one wire count set
+#: (``size * dim``).  A count set's body can never exceed the frame body
+#: cap, so the cap is checked *before* the element loop runs: a crafted
+#: header cannot make the decoder allocate more than one frame's worth
+#: of tuples regardless of what the bounds check against the actual
+#: payload length would conclude.
+MAX_COUNTSET_COMPONENTS = MAX_BODY_LENGTH // 4
+
 TYPE_OPEN = 1
 TYPE_KEEPALIVE = 2
 TYPE_UPDATE = 3
@@ -205,6 +213,8 @@ def _unpack_str(payload: bytes, offset: int) -> Tuple[str, int]:
 
 
 def _pack_bytes(raw: bytes) -> bytes:
+    if len(raw) > MAX_BODY_LENGTH:
+        raise ValueError("byte string too long for wire format")
     return _U32.pack(len(raw)) + raw
 
 
@@ -219,6 +229,10 @@ def _unpack_bytes(payload: bytes, offset: int) -> Tuple[bytes, int]:
 
 
 def _pack_countset(counts: CountSet) -> bytes:
+    if counts.dim > 0xFFFF:
+        raise ValueError("count set dimension too large for wire format")
+    if len(counts.tuples) > MAX_COUNTSET_COMPONENTS:
+        raise ValueError("count set too large for wire format")
     parts = [_U16.pack(counts.dim), _U32.pack(len(counts.tuples))]
     for element in sorted(counts.tuples):
         parts.extend(_U32.pack(component) for component in element)
@@ -232,6 +246,13 @@ def _unpack_countset(payload: bytes, offset: int) -> Tuple[CountSet, int]:
     offset += _U16.size
     (size,) = _U32.unpack_from(payload, offset)
     offset += _U32.size
+    # A zero dimension would make the element loop below advance the
+    # cursor by zero bytes per tuple: the bounds check would pass
+    # vacuously while the decoder allocated ``size`` empty tuples.
+    if dim == 0 and size != 0:
+        raise MessageDecodeError("count set with zero dimension")
+    if size * dim > MAX_COUNTSET_COMPONENTS:
+        raise MessageDecodeError("count set exceeds component cap")
     if offset + size * dim * _U32.size > len(payload):
         raise MessageDecodeError("truncated count set body")
     tuples = []
@@ -258,6 +279,8 @@ def encode_message(message: Message) -> bytes:
         body = _pack_str(message.plan_id) + _pack_str(message.device)
         kind = TYPE_KEEPALIVE
     elif isinstance(message, UpdateMessage):
+        if len(message.withdrawn) > 0xFFFF or len(message.results) > 0xFFFF:
+            raise ValueError("too many entries for one UPDATE frame")
         parts = [
             _pack_str(message.plan_id),
             _pack_str(message.up_node),
@@ -292,6 +315,8 @@ def encode_message(message: Message) -> bytes:
             kind = TYPE_LINKSTATE
         else:
             raise TypeError(f"cannot encode {message!r}")
+    if len(body) > MAX_BODY_LENGTH:
+        raise ValueError("encoded body exceeds MAX_BODY_LENGTH")
     clock = getattr(message, "clock", 0)
     return _FRAME.pack(MAGIC, VERSION, kind, clock & 0xFFFFFFFF, len(body)) + body
 

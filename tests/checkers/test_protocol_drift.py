@@ -128,6 +128,17 @@ def test_deleting_linkstate_fuzz_entry_fails():
     )
 
 
+@pytest.mark.parametrize("class_name", sorted(set(EXPECTED_TYPES.values())))
+def test_deleting_any_maxlen_fuzz_vector_fails(class_name):
+    mutated = _rename_in_function(
+        _read(FUZZ_PATH), "max_length_messages", class_name, "Renamed"
+    )
+    findings = check_protocol(ROOT, overrides={str(FUZZ_PATH): mutated})
+    assert any(
+        f.rule == "PROTO006" and class_name in f.message for f in findings
+    )
+
+
 def test_removing_dispatch_fails():
     mutated = _rename_in_function(
         _read(VERIFIER_PATH), "on_message", "SubscribeMessage", "Renamed"

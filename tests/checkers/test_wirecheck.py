@@ -1,0 +1,315 @@
+"""Tier-4 wire analysis: the shipped codec is proven layout-clean, and
+any single-width, bounds-check, field-order, or doc-row drift fires the
+matching WIRE rule with the exact field named.
+
+Mutations reuse the protocol-drift idiom: rewrite one function's source
+region (or one doc row) and feed the result to the checker via
+``overrides`` -- the files on disk are never touched.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.checkers.wirecheck import (
+    LINKSTATE_PATH,
+    MESSAGES_PATH,
+    WIRE_DOC_PATH,
+    WIRE_RULES,
+    check_wire,
+    extract_wire_surface,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _read(relative: Path) -> str:
+    return (ROOT / relative).read_text(encoding="utf-8")
+
+
+def _rename_in_function(source: str, function: str, old: str, new: str) -> str:
+    """Rename ``old`` -> ``new`` only inside ``function``'s body."""
+    module = ast.parse(source)
+    for node in ast.walk(module):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == function
+        ):
+            lines = source.splitlines(keepends=True)
+            start, end = node.lineno - 1, node.end_lineno
+            block = "".join(lines[start:end])
+            assert old in block, f"{old!r} not found in {function}()"
+            return (
+                "".join(lines[:start])
+                + block.replace(old, new)
+                + "".join(lines[end:])
+            )
+    raise AssertionError(f"no function {function!r} in source")
+
+
+def _rules(findings):
+    return {finding.rule for finding in findings}
+
+
+# -- the shipped tree proves clean ---------------------------------------
+
+
+def test_shipped_codec_is_wire_clean():
+    report = check_wire(ROOT)
+    assert report.findings == []
+    # The evidence counters are the proof the prong actually ran.
+    assert report.messages_checked >= 6  # 5 TYPE_* + the BDD payload
+    assert report.fields_checked >= 30
+    assert report.reads_proven >= 10
+    assert report.guards_proven >= 5
+
+
+def test_surface_tables_cover_every_frame_kind():
+    surface = extract_wire_surface(ROOT)
+    assert surface is not None
+    for type_name in (
+        "TYPE_OPEN",
+        "TYPE_KEEPALIVE",
+        "TYPE_UPDATE",
+        "TYPE_SUBSCRIBE",
+        "TYPE_LINKSTATE",
+    ):
+        assert type_name in surface.encode_tables, type_name
+        assert type_name in surface.decode_tables, type_name
+    # The BDD serializer is a codec pair too (no doc table of its own).
+    assert "BDD" in surface.encode_tables
+    assert "BDD" in surface.decode_tables
+
+
+def test_update_decode_table_matches_the_documented_grammar():
+    surface = extract_wire_surface(ROOT)
+    table = surface.decode_tables["TYPE_UPDATE"]
+    assert [(f.name, f.type_label()) for f in table] == [
+        ("plan_id", "str"),
+        ("up_node", "str"),
+        ("down_node", "str"),
+        ("n_withdrawn", "u16"),
+        ("withdrawn", "n_withdrawn * (predicate)"),
+        ("n_results", "u16"),
+        ("results", "n_results * (predicate, countset)"),
+    ]
+
+
+def test_missing_codec_produces_empty_report(tmp_path):
+    report = check_wire(tmp_path)
+    assert report.findings == []
+    assert report.messages_checked == 0
+
+
+# -- WIRE001: width and order drift --------------------------------------
+
+
+def test_pack_width_drift_fires_wire001():
+    mutated = _rename_in_function(
+        _read(LINKSTATE_PATH),
+        "encode_linkstate_body",
+        "_U8.pack(1 if message.up else 0)",
+        "_U32.pack(1 if message.up else 0)",
+    )
+    findings = check_wire(ROOT, {str(LINKSTATE_PATH): mutated}).findings
+    hits = [f for f in findings if f.rule == "WIRE001"]
+    assert hits, findings
+    assert any(
+        "TYPE_LINKSTATE" in f.message
+        and "'up' as u8" in f.message
+        and f.path == str(LINKSTATE_PATH)
+        for f in hits
+    )
+
+
+def test_field_order_swap_fires_wire001():
+    source = _read(LINKSTATE_PATH)
+    mutated = source.replace(
+        "_pack_str(message.origin),\n            "
+        "_U32.pack(message.sequence),",
+        "_U32.pack(message.sequence),\n            "
+        "_pack_str(message.origin),",
+    )
+    assert mutated != source
+    findings = check_wire(ROOT, {str(LINKSTATE_PATH): mutated}).findings
+    hits = [f for f in findings if f.rule == "WIRE001"]
+    # Both displaced positions are reported, with the field-by-field diff.
+    assert len(hits) >= 2, findings
+    assert any("at field 2" in f.message and "origin" in f.message for f in hits)
+    assert any("at field 3" in f.message and "sequence" in f.message for f in hits)
+
+
+def test_dropped_encode_field_fires_wire001():
+    source = _read(LINKSTATE_PATH)
+    mutated = source.replace("_pack_str(message.link[1]),\n", "")
+    assert mutated != source
+    findings = check_wire(ROOT, {str(LINKSTATE_PATH): mutated}).findings
+    assert any(
+        f.rule == "WIRE001" and "TYPE_LINKSTATE" in f.message
+        for f in findings
+    )
+
+
+# -- WIRE002: bounds-check drift -----------------------------------------
+
+
+def test_weakened_bounds_check_fires_wire002():
+    mutated = _rename_in_function(
+        _read(MESSAGES_PATH),
+        "_unpack_bytes",
+        "offset + length > len(payload)",
+        "offset > len(payload)",
+    )
+    findings = check_wire(ROOT, {str(MESSAGES_PATH): mutated}).findings
+    hits = [f for f in findings if f.rule == "WIRE002"]
+    assert hits, findings
+    assert all(f.path == str(MESSAGES_PATH) for f in hits)
+
+
+def test_removed_zero_stride_guard_fires_wire002():
+    mutated = _rename_in_function(
+        _read(MESSAGES_PATH),
+        "_unpack_countset",
+        "dim == 0 and size != 0",
+        "False",
+    )
+    findings = check_wire(ROOT, {str(MESSAGES_PATH): mutated}).findings
+    assert any(
+        f.rule == "WIRE002" and "zero byte stride" in f.message
+        for f in findings
+    ), findings
+
+
+def test_removed_loop_bound_fires_wire002():
+    mutated = _rename_in_function(
+        _read(MESSAGES_PATH),
+        "_unpack_countset",
+        "offset + size * dim * _U32.size > len(payload)",
+        "False",
+    )
+    findings = check_wire(ROOT, {str(MESSAGES_PATH): mutated}).findings
+    assert any(f.rule == "WIRE002" for f in findings), findings
+
+
+# -- WIRE003: prefix width disagreement ----------------------------------
+
+
+def test_prefix_width_disagreement_fires_wire003():
+    mutated = _rename_in_function(
+        _read(MESSAGES_PATH),
+        "_pack_countset",
+        "_U32.pack(len(counts.tuples))",
+        "_U16.pack(len(counts.tuples))",
+    )
+    findings = check_wire(ROOT, {str(MESSAGES_PATH): mutated}).findings
+    hits = [f for f in findings if f.rule == "WIRE003"]
+    assert hits, findings
+    assert any(
+        "written as u16" in f.message and "'size' as u32" in f.message
+        for f in hits
+    )
+
+
+# -- WIRE004: unguarded length prefix ------------------------------------
+
+
+def test_removed_pack_guard_fires_wire004():
+    mutated = _rename_in_function(
+        _read(MESSAGES_PATH), "_pack_str", "len(raw) > 0xFFFF", "False"
+    )
+    findings = check_wire(ROOT, {str(MESSAGES_PATH): mutated}).findings
+    hits = [f for f in findings if f.rule == "WIRE004"]
+    assert hits, findings
+    assert any(
+        "_pack_str" in f.message and "len(raw)" in f.message for f in hits
+    )
+
+
+def test_removed_countset_dim_guard_fires_wire004():
+    # counts.dim bounds the decode loop, so the encoder must cap it even
+    # though it is not itself a len() prefix.
+    mutated = _rename_in_function(
+        _read(MESSAGES_PATH),
+        "_pack_countset",
+        "counts.dim > 0xFFFF",
+        "False",
+    )
+    findings = check_wire(ROOT, {str(MESSAGES_PATH): mutated}).findings
+    assert any(
+        f.rule == "WIRE004" and "dim" in f.message for f in findings
+    ), findings
+
+
+# -- WIRE005: doc drift, both directions ---------------------------------
+
+
+def test_stale_doc_row_fires_wire005():
+    doc = _read(WIRE_DOC_PATH)
+    mutated = doc.replace("| sequence | u32  |", "| sequence | u16  |")
+    assert mutated != doc
+    findings = check_wire(ROOT, {str(WIRE_DOC_PATH): mutated}).findings
+    hits = [f for f in findings if f.rule == "WIRE005"]
+    assert len(hits) == 1, findings
+    finding = hits[0]
+    assert finding.path == str(WIRE_DOC_PATH)
+    assert "sequence" in finding.message
+    assert "u32" in finding.message and "u16" in finding.message
+    # Anchored at the mutated row, not the file head.
+    assert finding.line > 1
+
+
+def test_removed_doc_row_fires_wire005():
+    doc = _read(WIRE_DOC_PATH)
+    lines = [
+        line
+        for line in doc.splitlines(keepends=True)
+        if not line.startswith("| down_node   | str")
+    ]
+    mutated = "".join(lines)
+    assert mutated != doc
+    findings = check_wire(ROOT, {str(WIRE_DOC_PATH): mutated}).findings
+    assert any(
+        f.rule == "WIRE005" and "down_node" in f.message for f in findings
+    ), findings
+
+
+def test_undocumented_codec_field_fires_wire005():
+    doc = _read(WIRE_DOC_PATH)
+    mutated = doc.replace(
+        "| up       | u8   |",
+        "| up       | u8   |\n| checksum | u32  |",
+    )
+    assert mutated != doc
+    findings = check_wire(ROOT, {str(WIRE_DOC_PATH): mutated}).findings
+    assert any(
+        f.rule == "WIRE005"
+        and "checksum" in f.message
+        and "no such field" in f.message
+        for f in findings
+    ), findings
+
+
+def test_missing_doc_table_fires_wire005():
+    doc = _read(WIRE_DOC_PATH)
+    mutated = doc.replace("## SUBSCRIBE (4)", "## SUBSCRIBE")
+    assert mutated != doc
+    findings = check_wire(ROOT, {str(WIRE_DOC_PATH): mutated}).findings
+    assert any(
+        f.rule == "WIRE005" and "TYPE_SUBSCRIBE" in f.message
+        for f in findings
+    ), findings
+
+
+def test_every_wire_rule_has_a_catalog_entry():
+    assert sorted(WIRE_RULES) == [
+        "WIRE001",
+        "WIRE002",
+        "WIRE003",
+        "WIRE004",
+        "WIRE005",
+    ]
+    from repro.checkers.verifystatic import VERIFY_RULES
+
+    for rule, description in WIRE_RULES.items():
+        assert VERIFY_RULES[rule] == description

@@ -207,5 +207,11 @@ class TestBenchCommand:
         assert verify["states_explored"] > 0
         assert verify["established_reachable"] is True
         assert verify["findings"] == 0
+        wire = analyzer["wirecheck"]
+        assert wire["checked"] is True
+        assert wire["messages_covered"] >= 6
+        assert wire["fields_proven"] >= 30
+        assert wire["reads_proven"] > 0
+        assert wire["guards_proven"] > 0
         # --json mirrors the document to stdout.
         assert json.loads(capsys.readouterr().out) == document

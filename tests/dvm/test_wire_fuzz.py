@@ -13,16 +13,29 @@ import pytest
 from repro.counting.counts import CountSet
 from repro.dvm.linkstate import LinkStateMessage
 from repro.dvm.messages import (
+    MAGIC,
+    MAX_COUNTSET_COMPONENTS,
+    TYPE_UPDATE,
+    VERSION,
     KeepaliveMessage,
     Message,
     MessageDecodeError,
     OpenMessage,
     SubscribeMessage,
     UpdateMessage,
+    _FRAME,
+    _pack_bytes,
+    _pack_str,
+    _U16,
+    _U32,
+    _unpack_countset,
     decode_message,
     decode_stream,
     encode_message,
 )
+
+#: The largest string a u16 length prefix can carry.
+MAX_STR = "x" * 0xFFFF
 
 
 def sample_messages(factory):
@@ -57,6 +70,44 @@ def sample_messages(factory):
             sequence=7,
             link=("W", "D"),
             up=False,
+        ),
+    ]
+
+
+def max_length_messages(factory):
+    """One vector per wire message type saturating its length prefixes.
+
+    Strings sit exactly at the u16 limit (0xFFFF bytes) and the UPDATE
+    carries a count set at the u16 dimension limit, so every boundary
+    guard in the codec is exercised from the *valid* side.  Kept out of
+    :func:`sample_messages` deliberately: the per-byte corruption and
+    truncation sweeps there are O(frame size) per message and these
+    frames are ~half a megabyte.
+    """
+    wide_counts = CountSet(0xFFFF, [tuple(range(0xFFFF))])
+    return [
+        OpenMessage(plan_id=MAX_STR, device=MAX_STR),
+        KeepaliveMessage(plan_id=MAX_STR, device=MAX_STR),
+        UpdateMessage(
+            plan_id=MAX_STR,
+            up_node=MAX_STR,
+            down_node=MAX_STR,
+            withdrawn=(factory.dst_prefix("10.0.0.0/23"),),
+            results=((factory.dst_prefix("10.0.0.0/24"), wide_counts),),
+        ),
+        SubscribeMessage(
+            plan_id=MAX_STR,
+            up_node=MAX_STR,
+            down_node=MAX_STR,
+            original=factory.dst_prefix("10.0.0.0/24"),
+            transformed=factory.dst_prefix("192.168.0.0/24"),
+        ),
+        LinkStateMessage(
+            plan_id=MAX_STR,
+            origin=MAX_STR,
+            sequence=0xFFFFFFFF,
+            link=(MAX_STR, MAX_STR),
+            up=True,
         ),
     ]
 
@@ -97,6 +148,110 @@ class TestTruncation:
             decoded, remainder = decode_stream(encoded[:cut], factory)
             assert decoded == []
             assert remainder == encoded[:cut]
+
+
+class TestMaxLength:
+    def test_every_type_round_trips_at_the_limits(self, factory):
+        for message in max_length_messages(factory):
+            encoded = encode_message(message)
+            assert decode_message(encoded, factory) == message
+
+    def test_sampled_truncation_raises_cleanly(self, factory):
+        """A per-byte sweep would be O(n^2) at half a megabyte; cutting
+        at a spread of offsets (plus both edges) keeps the same
+        contract cheap."""
+        rng = random.Random(0xFFFF)
+        for message in max_length_messages(factory):
+            encoded = encode_message(message)
+            cuts = {0, 1, len(encoded) - 1} | {
+                rng.randrange(len(encoded)) for _ in range(32)
+            }
+            for cut in sorted(cuts):
+                with pytest.raises(MessageDecodeError):
+                    decode_message(encoded[:cut], factory)
+
+    def test_string_over_u16_limit_is_rejected(self):
+        with pytest.raises(ValueError):
+            encode_message(
+                OpenMessage(plan_id="x" * 0x10000, device="S")
+            )
+
+    def test_countset_dimension_over_u16_limit_is_rejected(self, factory):
+        counts = CountSet(0x10000, [tuple(range(0x10000))])
+        with pytest.raises(ValueError):
+            encode_message(
+                UpdateMessage(
+                    plan_id="p",
+                    up_node="u",
+                    down_node="v",
+                    withdrawn=(),
+                    results=((factory.dst_prefix("10.0.0.0/24"), counts),),
+                )
+            )
+
+    def test_update_entry_counts_over_u16_limit_are_rejected(self, factory):
+        predicate = factory.dst_prefix("10.0.0.0/24")
+        too_many = ((predicate, CountSet.scalar(0)),) * 0x10000
+        with pytest.raises(ValueError):
+            encode_message(
+                UpdateMessage(
+                    plan_id="p",
+                    up_node="u",
+                    down_node="v",
+                    withdrawn=(),
+                    results=too_many,
+                )
+            )
+
+
+class TestCountsetHardening:
+    """The `_unpack_countset` guards a fuzz sweep cannot reach: the
+    attacks need headers no honest encoder produces."""
+
+    def test_zero_dimension_with_nonzero_size_is_rejected(self, factory):
+        """dim=0 makes the element loop advance zero bytes per tuple:
+        without the guard, the bounds check passes vacuously while the
+        decoder allocates ``size`` empty tuples."""
+        predicate = factory.dst_prefix("10.0.0.0/24")
+        body = (
+            _pack_str("p")
+            + _pack_str("u")
+            + _pack_str("d")
+            + _U16.pack(0)  # n_withdrawn
+            + _U16.pack(1)  # n_results
+            + _pack_bytes(predicate.to_bytes())
+            + _U16.pack(0)  # countset dim == 0
+            + _U32.pack(7)  # ...but size != 0
+        )
+        frame = _FRAME.pack(MAGIC, VERSION, TYPE_UPDATE, 0, len(body)) + body
+        with pytest.raises(MessageDecodeError):
+            decode_message(frame, factory)
+
+    def test_component_total_over_cap_is_rejected(self):
+        """size * dim beyond MAX_BODY_LENGTH/4 components cannot be a
+        real body; the cap fires before any allocation."""
+        header = _U16.pack(2) + _U32.pack(MAX_COUNTSET_COMPONENTS)
+        with pytest.raises(MessageDecodeError):
+            _unpack_countset(header, 0)
+
+    def test_truncated_countset_body_is_rejected(self):
+        """The whole-repetition bound fires before the element loop."""
+        header = _U16.pack(2) + _U32.pack(3)  # claims 3 x 2 u32s
+        with pytest.raises(MessageDecodeError):
+            _unpack_countset(header + _U32.pack(1) * 5, 0)
+
+    def test_exact_countset_body_round_trips(self):
+        payload = (
+            _U16.pack(2)
+            + _U32.pack(2)
+            + _U32.pack(1)
+            + _U32.pack(2)
+            + _U32.pack(3)
+            + _U32.pack(4)
+        )
+        counts, offset = _unpack_countset(payload, 0)
+        assert offset == len(payload)
+        assert counts == CountSet(2, [(1, 2), (3, 4)])
 
 
 class TestCorruption:
